@@ -1,0 +1,72 @@
+// §5.4 ablation: the top-k frequency approximation in the topjoins and
+// botjoins. The paper proposes keeping only the k most frequent values
+// (everything else bounded by the k-th frequency) to trade sensitivity
+// tightness for runtime. This bench sweeps k on the two path queries (q1
+// on TPC-H and qw on the ego-network), reporting the bound inflation and
+// the runtime change.
+//
+// Environment: LSENS_TOPK_SCALE=0.01
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "sensitivity/tsens.h"
+#include "workload/queries.h"
+#include "workload/social.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using namespace lsens;
+
+void Sweep(const WorkloadQuery& w, const Database& db) {
+  TSensComputeOptions exact_opts;
+  exact_opts.ghd = w.ghd_ptr();
+  exact_opts.skip_atoms = w.skip_atoms;
+  WallTimer t0;
+  auto exact = ComputeLocalSensitivity(w.query, db, exact_opts);
+  double exact_s = t0.ElapsedSeconds();
+  if (!exact.ok()) {
+    std::printf("%s exact ERROR %s\n", w.name.c_str(),
+                exact.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-6s exact: LS=%-12s time=%.4fs\n", w.name.c_str(),
+              exact->local_sensitivity.ToString().c_str(), exact_s);
+  for (size_t k : {1u, 4u, 16u, 64u, 256u}) {
+    TSensComputeOptions opts = exact_opts;
+    opts.top_k = k;
+    WallTimer t;
+    auto approx = ComputeLocalSensitivity(w.query, db, opts);
+    double secs = t.ElapsedSeconds();
+    if (!approx.ok()) {
+      std::printf("  k=%-5zu ERROR %s\n", k,
+                  approx.status().ToString().c_str());
+      continue;
+    }
+    double inflation =
+        exact->local_sensitivity.IsZero()
+            ? 0.0
+            : approx->local_sensitivity.ToDouble() /
+                  exact->local_sensitivity.ToDouble();
+    std::printf("  k=%-5zu bound=%-12s inflation=%-8.2fx time=%.4fs\n", k,
+                approx->local_sensitivity.ToString().c_str(), inflation,
+                secs);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("§5.4 ablation — top-k approximation of ⊤/⊥ tables",
+                "upper-bound inflation and runtime vs k (exact = no cap)");
+  double scale = bench::EnvScales("LSENS_TOPK_SCALE", {0.01})[0];
+  TpchOptions topts;
+  topts.scale = scale;
+  Database tpch = MakeTpchDatabase(topts);
+  Database social = MakeSocialDatabase(SocialOptions{});
+  Sweep(MakeTpchQ1(tpch), tpch);
+  Sweep(MakeFacebookPath(social), social);
+  return 0;
+}

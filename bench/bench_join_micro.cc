@@ -1,0 +1,94 @@
+// Operator micro-benchmarks (google-benchmark): the counted-relation
+// primitives every TSens pass is built from — r⋈ under both join
+// algorithms, γ group-by-sum, and the Yannakakis-style count evaluation on
+// TPC-H q1.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "exec/counted_relation.h"
+#include "exec/eval.h"
+#include "exec/join.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace lsens {
+namespace {
+
+CountedRelation MakeRandomCounted(Rng& rng, size_t rows, AttributeSet attrs,
+                                  uint64_t domain) {
+  CountedRelation rel(std::move(attrs));
+  std::vector<Value> row(rel.arity());
+  for (size_t i = 0; i < rows; ++i) {
+    for (auto& v : row) v = static_cast<Value>(rng.NextBounded(domain));
+    rel.AppendRow(row, Count::One());
+  }
+  rel.Normalize();
+  return rel;
+}
+
+void BM_NaturalJoin(benchmark::State& state, JoinAlgorithm algo) {
+  Rng rng(1);
+  size_t rows = static_cast<size_t>(state.range(0));
+  CountedRelation a = MakeRandomCounted(rng, rows, {1, 2}, rows / 4 + 1);
+  CountedRelation b = MakeRandomCounted(rng, rows, {2, 3}, rows / 4 + 1);
+  JoinOptions opts{algo};
+  for (auto _ : state) {
+    CountedRelation j = NaturalJoin(a, b, opts);
+    benchmark::DoNotOptimize(j.NumRows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * rows));
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  BM_NaturalJoin(state, JoinAlgorithm::kHash);
+}
+void BM_SortMergeJoin(benchmark::State& state) {
+  BM_NaturalJoin(state, JoinAlgorithm::kSortMerge);
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_SortMergeJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GroupBySum(benchmark::State& state) {
+  Rng rng(2);
+  size_t rows = static_cast<size_t>(state.range(0));
+  CountedRelation r = MakeRandomCounted(rng, rows, {1, 2}, rows / 8 + 1);
+  for (auto _ : state) {
+    CountedRelation g = GroupBySum(r, {1});
+    benchmark::DoNotOptimize(g.NumRows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_GroupBySum)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TopKTruncation(benchmark::State& state) {
+  Rng rng(3);
+  size_t rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CountedRelation r = MakeRandomCounted(rng, rows, {1}, rows * 2);
+    state.ResumeTiming();
+    r.TruncateTopK(64);
+    benchmark::DoNotOptimize(r.NumRows());
+  }
+}
+BENCHMARK(BM_TopKTruncation)->Arg(10000)->Arg(100000);
+
+void BM_CountQ1(benchmark::State& state) {
+  TpchOptions topts;
+  topts.scale = static_cast<double>(state.range(0)) * 1e-4;
+  Database db = MakeTpchDatabase(topts);
+  WorkloadQuery q1 = MakeTpchQ1(db);
+  for (auto _ : state) {
+    auto c = CountQuery(q1.query, db);
+    benchmark::DoNotOptimize(c.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.TotalRows()));
+}
+BENCHMARK(BM_CountQ1)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace lsens

@@ -1,0 +1,64 @@
+// §7.3 parameter analysis: how the assumed tuple-sensitivity upper bound ℓ
+// affects TSensDP on the star query q⋆. The paper sweeps
+// ℓ ∈ {1, 10, 30, 50, 100, 1000} and reports the learned threshold, median
+// relative bias and median relative error over 20 runs; the sweet spot is
+// near the true local sensitivity (too-small ℓ truncates, too-large ℓ
+// drowns the Q̂ release in noise — 98% error at ℓ = 1000 in the paper).
+//
+// Environment: LSENS_DP_RUNS=20 LSENS_EPSILON=1.0
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "dp/tsens_dp.h"
+#include "sensitivity/tsens.h"
+#include "workload/queries.h"
+#include "workload/social.h"
+
+int main() {
+  using namespace lsens;
+  using bench::Median;
+  bench::Banner("§7.3 parameter analysis — ℓ sweep for TSensDP on q⋆",
+                "columns: learned τ, relative bias, relative error (medians)");
+  const long runs = bench::EnvInt("LSENS_DP_RUNS", 20);
+  const double epsilon = bench::EnvScales("LSENS_EPSILON", {1.0})[0];
+
+  Database db = MakeSocialDatabase(SocialOptions{});
+  WorkloadQuery w = MakeFacebookStar(db);
+
+  TSensComputeOptions sopts;
+  auto exact = ComputeLocalSensitivity(w.query, db, sopts);
+  std::printf("true local sensitivity of q_star: %s\n\n",
+              exact.ok() ? exact->local_sensitivity.ToString().c_str() : "?");
+
+  std::printf("%-8s %-10s %-12s %-12s\n", "ell", "tau(med)", "bias(med)",
+              "error(med)");
+  for (uint64_t ell : {1ull, 10ull, 30ull, 50ull, 100ull, 1000ull}) {
+    std::vector<double> taus, biases, errors;
+    for (long r = 0; r < runs; ++r) {
+      TSensDpOptions opts;
+      opts.epsilon = epsilon;
+      opts.ell = ell;
+      opts.seed = static_cast<uint64_t>(r) + 1;
+      auto run = RunTSensDp(w.query, db, w.private_atom, opts);
+      if (!run.ok()) {
+        std::printf("ell=%llu ERROR: %s\n",
+                    static_cast<unsigned long long>(ell),
+                    run.status().ToString().c_str());
+        return 1;
+      }
+      taus.push_back(static_cast<double>(run->learned_threshold));
+      biases.push_back(run->true_answer > 0
+                           ? run->bias() / run->true_answer
+                           : 0.0);
+      errors.push_back(run->true_answer > 0
+                           ? run->error() / run->true_answer
+                           : 0.0);
+    }
+    std::printf("%-8llu %-10.0f %-11.2f%% %-11.2f%%\n",
+                static_cast<unsigned long long>(ell), Median(taus),
+                100 * Median(biases), 100 * Median(errors));
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Private analytics: §6 end to end. Answer the TPC-H join-counting query
+//   q1(D) = |Region ⋈ Nation ⋈ Customer ⋈ Orders ⋈ Lineitem|
+// under ε-differential privacy with Customer as the primary private
+// relation, using the TSensDP truncation mechanism:
+//
+//   1. TSens computes δ(t) for every customer;
+//   2. SVT privately finds a truncation threshold τ near the local
+//      sensitivity;
+//   3. customers with δ(t) > τ are truncated and the query is answered
+//      with Laplace noise scaled to τ (instead of the huge static bound a
+//      frequency-based system would use).
+
+#include <cstdio>
+
+#include "dp/tsens_dp.h"
+#include "sensitivity/elastic.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+int main() {
+  using namespace lsens;
+  TpchOptions topts;
+  topts.scale = 0.01;
+  Database db = MakeTpchDatabase(topts);
+  WorkloadQuery q1 = MakeTpchQ1(db);
+  std::printf("TPC-H scale %.2f: %zu total rows\n", topts.scale,
+              db.TotalRows());
+  std::printf("query: %s\n", q1.query.ToString(db.attrs()).c_str());
+  std::printf("primary private relation: %s\n",
+              q1.query.atom(q1.private_atom).relation.c_str());
+
+  // What a static analysis would have to assume:
+  auto elastic = ElasticSensitivity(q1.query, db);
+  std::printf("static (Elastic) sensitivity bound for this instance: %s\n",
+              elastic->local_sensitivity_bound.ToString().c_str());
+
+  const double epsilon = 1.0;
+  for (uint64_t seed : {1, 2, 3}) {
+    TSensDpOptions opts;
+    opts.epsilon = epsilon;
+    opts.ell = q1.ell;
+    opts.seed = seed;
+    auto run = RunTSensDp(q1.query, db, q1.private_atom, opts);
+    if (!run.ok()) {
+      std::printf("run failed: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "eps=%.1f seed=%llu: true=%.0f released=%.0f (rel.err %.2f%%), "
+        "learned tau=%llu, bias %.2f%%\n",
+        epsilon, static_cast<unsigned long long>(seed), run->true_answer,
+        run->noisy_answer, 100 * run->error() / run->true_answer,
+        static_cast<unsigned long long>(run->learned_threshold),
+        100 * run->bias() / run->true_answer);
+  }
+  std::printf(
+      "\nNoise scales with the learned tau (~max tuple sensitivity), not\n"
+      "with the static bound — that gap is the accuracy win of §6.\n");
+  return 0;
+}

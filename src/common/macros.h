@@ -1,0 +1,36 @@
+#ifndef LSENS_COMMON_MACROS_H_
+#define LSENS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal assertion for programming errors (not data errors — those go
+// through Status). Always enabled, including in release builds: sensitivity
+// results feed privacy budgets, so silent invariant violations are worse
+// than an abort.
+#define LSENS_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "LSENS_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define LSENS_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "LSENS_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// Propagates a non-OK Status from an expression returning Status.
+#define LSENS_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::lsens::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // LSENS_COMMON_MACROS_H_

@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace lsens {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(s);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  LSENS_CHECK(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  LSENS_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpen() {
+  for (;;) {
+    double d = NextDouble();
+    if (d > 0.0) return d;
+  }
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  LSENS_CHECK(n >= 1);
+  if (n == 1) return 1;
+  if (s <= 0.0) return 1 + NextBounded(n);
+  // Rejection sampling from the bounding curve (Devroye). Works for any
+  // s > 0, s != 1 handled via the generalized harmonic inverse.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    double u = NextDoubleOpen();
+    double v = NextDoubleOpen();
+    double x;
+    if (s == 1.0) {
+      x = std::pow(static_cast<double>(n) + 1.0, u);
+    } else {
+      double t = std::pow(static_cast<double>(n) + 1.0, 1.0 - s);
+      x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    }
+    uint64_t k = static_cast<uint64_t>(x);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double ratio = std::pow(static_cast<double>(k) / x, s);
+    if (v * b <= ratio) return k;
+  }
+}
+
+Rng Rng::Split() { return Rng(NextUint64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+}  // namespace lsens

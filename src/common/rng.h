@@ -1,0 +1,52 @@
+#ifndef LSENS_COMMON_RNG_H_
+#define LSENS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace lsens {
+
+// Deterministic xoshiro256++ PRNG seeded via splitmix64.
+//
+// Everything random in this library (workload generation, DP noise, test
+// fuzzing) flows through explicitly seeded Rng instances so experiments are
+// reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound), bias-free via rejection.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Open-interval uniform in (0, 1): never returns 0, safe for log().
+  double NextDoubleOpen();
+
+  // Zipf-distributed integer in [1, n] with exponent s (>0); s=0 degenerates
+  // to uniform. Inverse-CDF over a precomputed-free rejection scheme is
+  // overkill here — workload sizes are small, so we use linear search over
+  // the CDF only when n is tiny and Chlebus' approximation otherwise.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  // Fork a statistically independent stream (for parallel generators).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+// splitmix64 step, exposed for hashing helpers.
+uint64_t SplitMix64(uint64_t& state);
+
+// 64-bit finalizer used for hash combining.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace lsens
+
+#endif  // LSENS_COMMON_RNG_H_

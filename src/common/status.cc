@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace lsens {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kUnsupported:
+      name = "Unsupported";
+      break;
+    case Code::kInternal:
+      name = "Internal";
+      break;
+  }
+  std::string result = name;
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace lsens

@@ -1,0 +1,23 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace lsens {
+
+double SampleLaplace(Rng& rng, double scale) {
+  LSENS_CHECK(scale >= 0.0);
+  // u uniform in (-1/2, 1/2); inverse CDF: -scale * sgn(u) * ln(1 - 2|u|).
+  double u = rng.NextDoubleOpen() - 0.5;
+  double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double LaplaceMechanism(Rng& rng, double value, double sensitivity,
+                        double epsilon) {
+  LSENS_CHECK(epsilon > 0.0);
+  return value + SampleLaplace(rng, sensitivity / epsilon);
+}
+
+}  // namespace lsens

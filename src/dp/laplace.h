@@ -1,0 +1,18 @@
+#ifndef LSENS_DP_LAPLACE_H_
+#define LSENS_DP_LAPLACE_H_
+
+#include "common/rng.h"
+
+namespace lsens {
+
+// One draw from Laplace(0, scale) via inverse CDF.
+double SampleLaplace(Rng& rng, double scale);
+
+// The Laplace mechanism (Definition 6.3): value + Lap(sensitivity/epsilon).
+// Satisfies epsilon-DP for a query with the given global sensitivity.
+double LaplaceMechanism(Rng& rng, double value, double sensitivity,
+                        double epsilon);
+
+}  // namespace lsens
+
+#endif  // LSENS_DP_LAPLACE_H_

@@ -1,0 +1,56 @@
+#ifndef LSENS_DP_PRIVSQL_H_
+#define LSENS_DP_PRIVSQL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/tsens_dp.h"
+#include "query/conjunctive_query.h"
+#include "query/ghd.h"
+#include "storage/attribute_set.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// PrivSQL-style baseline (§7.3): truncation by join-key *frequency* on the
+// relations the FK policy makes sensitive, thresholds learned by SVT, and a
+// static (elastic-with-caps) global sensitivity bound. Synopsis generation
+// is disabled — the query is answered directly with the Laplace mechanism,
+// exactly as the paper configures PrivSQL.
+//
+// Faithful weaknesses this reimplementation preserves:
+//  * truncation thresholds bound frequencies, not tuple sensitivities, so
+//    heavy keys that never join with the sensitive tuples get dropped too;
+//  * the SVT noise for learning a relation's threshold scales with that
+//    relation's *policy sensitivity* (the product of upstream caps), while
+//    TSensDP's SVT queries have sensitivity 1 (the paper calls this out);
+//  * the released global sensitivity comes from static frequency analysis
+//    and can exceed the local sensitivity by orders of magnitude.
+struct PrivSqlRule {
+  int atom = -1;           // relation to truncate
+  AttributeSet key_vars;   // join key whose frequency is bounded
+  uint64_t max_threshold = 128;  // SVT search range for the cap
+};
+
+struct PrivSqlPolicy {
+  int private_atom = -1;
+  // Rules in cascade (FK) order from the private relation outward.
+  std::vector<PrivSqlRule> rules;
+};
+
+struct PrivSqlOptions {
+  double epsilon = 1.0;
+  double threshold_fraction = 0.5;  // budget share for threshold learning
+  uint64_t seed = 1;
+  JoinOptions join;
+  const Ghd* ghd = nullptr;  // evaluation plan for cyclic queries
+};
+
+StatusOr<DpRunResult> RunPrivSql(const ConjunctiveQuery& q, const Database& db,
+                                 const PrivSqlPolicy& policy,
+                                 const PrivSqlOptions& options);
+
+}  // namespace lsens
+
+#endif  // LSENS_DP_PRIVSQL_H_

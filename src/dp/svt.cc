@@ -1,0 +1,27 @@
+#include "dp/svt.h"
+
+#include "common/macros.h"
+#include "dp/laplace.h"
+
+namespace lsens {
+
+SparseVector::SparseVector(Rng& rng, double epsilon, double threshold,
+                           double query_sensitivity)
+    : rng_(rng), epsilon_(epsilon), query_sensitivity_(query_sensitivity) {
+  LSENS_CHECK(epsilon > 0.0);
+  noisy_threshold_ =
+      threshold + SampleLaplace(rng_, 2.0 * query_sensitivity_ / epsilon_);
+}
+
+bool SparseVector::Check(double query_value) {
+  LSENS_CHECK_MSG(!exhausted_, "SVT already reported; budget is spent");
+  double noisy =
+      query_value + SampleLaplace(rng_, 4.0 * query_sensitivity_ / epsilon_);
+  if (noisy >= noisy_threshold_) {
+    exhausted_ = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace lsens

@@ -1,0 +1,34 @@
+#ifndef LSENS_DP_SVT_H_
+#define LSENS_DP_SVT_H_
+
+#include "common/rng.h"
+
+namespace lsens {
+
+// Sparse Vector Technique (AboveThreshold; [34] Lyu-Su-Li, Alg. 1): given a
+// stream of queries each with sensitivity `query_sensitivity`, reports the
+// first query whose noisy value crosses the noisy threshold. Consumes
+// `epsilon` in total for one report: half on the threshold noise, half on
+// the per-query noise.
+class SparseVector {
+ public:
+  SparseVector(Rng& rng, double epsilon, double threshold,
+               double query_sensitivity = 1.0);
+
+  // Feeds the next query value; true = above threshold (stop: the budget
+  // is spent). Must not be called again after it returns true.
+  bool Check(double query_value);
+
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  Rng& rng_;
+  double epsilon_;
+  double query_sensitivity_;
+  double noisy_threshold_;
+  bool exhausted_ = false;
+};
+
+}  // namespace lsens
+
+#endif  // LSENS_DP_SVT_H_

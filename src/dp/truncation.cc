@@ -1,0 +1,114 @@
+#include "dp/truncation.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace lsens {
+
+namespace {
+
+// Key-frequency map over the chosen columns.
+std::map<std::vector<Value>, size_t> KeyFrequencies(
+    const Relation& rel, const std::vector<int>& key_cols) {
+  std::map<std::vector<Value>, size_t> freq;
+  std::vector<Value> key(key_cols.size());
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    for (size_t j = 0; j < key_cols.size(); ++j) {
+      key[j] = rel.At(r, static_cast<size_t>(key_cols[j]));
+    }
+    ++freq[key];
+  }
+  return freq;
+}
+
+}  // namespace
+
+StatusOr<size_t> TruncateBySensitivity(Database& db,
+                                       const std::string& relation,
+                                       const std::vector<Count>& sensitivities,
+                                       Count threshold) {
+  Relation* rel = db.Find(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  if (sensitivities.size() != rel->NumRows()) {
+    return Status::InvalidArgument(
+        "sensitivity vector does not match relation row count");
+  }
+  // Rebuild without the over-sensitive rows (cheaper and order-stable
+  // compared to repeated swap-removes, which would desynchronize indices).
+  Relation kept(rel->name(), rel->column_names());
+  kept.Reserve(rel->NumRows());
+  size_t removed = 0;
+  for (size_t r = 0; r < rel->NumRows(); ++r) {
+    if (sensitivities[r] > threshold) {
+      ++removed;
+    } else {
+      kept.AppendRow(rel->Row(r));
+    }
+  }
+  *rel = std::move(kept);
+  return removed;
+}
+
+StatusOr<size_t> TruncateByFrequency(Database& db, const std::string& relation,
+                                     const std::vector<int>& key_cols,
+                                     uint64_t threshold) {
+  Relation* rel = db.Find(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  for (int c : key_cols) {
+    if (c < 0 || static_cast<size_t>(c) >= rel->arity()) {
+      return Status::InvalidArgument("key column out of range");
+    }
+  }
+  auto freq = KeyFrequencies(*rel, key_cols);
+  Relation kept(rel->name(), rel->column_names());
+  kept.Reserve(rel->NumRows());
+  size_t removed = 0;
+  std::vector<Value> key(key_cols.size());
+  for (size_t r = 0; r < rel->NumRows(); ++r) {
+    for (size_t j = 0; j < key_cols.size(); ++j) {
+      key[j] = rel->At(r, static_cast<size_t>(key_cols[j]));
+    }
+    if (freq[key] > threshold) {
+      ++removed;
+    } else {
+      kept.AppendRow(rel->Row(r));
+    }
+  }
+  *rel = std::move(kept);
+  return removed;
+}
+
+StatusOr<std::vector<size_t>> RowsAboveFrequency(
+    const Database& db, const std::string& relation,
+    const std::vector<int>& key_cols, uint64_t max_f) {
+  const Relation* rel = db.Find(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  auto freq = KeyFrequencies(*rel, key_cols);
+  std::vector<size_t> rows_above(max_f + 1, 0);
+  for (const auto& [key, f] : freq) {
+    // A key with frequency f contributes f rows to every bucket with
+    // threshold < f.
+    size_t upto = std::min<uint64_t>(f == 0 ? 0 : f - 1, max_f);
+    for (size_t i = 0; i <= upto && f > i; ++i) rows_above[i] += f;
+  }
+  return rows_above;
+}
+
+StatusOr<std::vector<size_t>> KeysAboveFrequency(
+    const Database& db, const std::string& relation,
+    const std::vector<int>& key_cols, uint64_t max_f) {
+  const Relation* rel = db.Find(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  auto freq = KeyFrequencies(*rel, key_cols);
+  std::vector<size_t> keys_above(max_f + 1, 0);
+  for (const auto& [key, f] : freq) {
+    size_t upto = std::min<uint64_t>(f == 0 ? 0 : f - 1, max_f);
+    for (size_t i = 0; i <= upto && f > i; ++i) ++keys_above[i];
+  }
+  return keys_above;
+}
+
+}  // namespace lsens

@@ -1,0 +1,47 @@
+#ifndef LSENS_DP_TRUNCATION_H_
+#define LSENS_DP_TRUNCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/count.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// TSens truncation (Definition 6.4): removes every row of `relation` whose
+// tuple sensitivity exceeds `threshold`. `sensitivities` is aligned with
+// the relation's current row order (as from TupleSensitivities). Returns
+// the number of rows removed.
+StatusOr<size_t> TruncateBySensitivity(Database& db,
+                                       const std::string& relation,
+                                       const std::vector<Count>& sensitivities,
+                                       Count threshold);
+
+// PrivSQL-style truncation: removes every row of `relation` whose value
+// combination on `key_cols` occurs more than `threshold` times (all rows of
+// an over-frequent key are dropped, matching PrivateSQL's semantics).
+// Returns the number of rows removed.
+StatusOr<size_t> TruncateByFrequency(Database& db, const std::string& relation,
+                                     const std::vector<int>& key_cols,
+                                     uint64_t threshold);
+
+// Histogram helpers for frequency-threshold learning, for f in [0, max_f]:
+//   RowsAboveFrequency[f] = number of rows whose key frequency exceeds f;
+//   KeysAboveFrequency[f] = number of distinct keys with frequency > f.
+// The keys variant is what the PrivSQL-style learner queries: deleting one
+// upstream private tuple cascades into at most (product of upstream caps)
+// keys, which is the SVT noise scale the paper calls out.
+StatusOr<std::vector<size_t>> RowsAboveFrequency(const Database& db,
+                                                 const std::string& relation,
+                                                 const std::vector<int>& key_cols,
+                                                 uint64_t max_f);
+StatusOr<std::vector<size_t>> KeysAboveFrequency(const Database& db,
+                                                 const std::string& relation,
+                                                 const std::vector<int>& key_cols,
+                                                 uint64_t max_f);
+
+}  // namespace lsens
+
+#endif  // LSENS_DP_TRUNCATION_H_

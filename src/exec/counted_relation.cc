@@ -1,0 +1,245 @@
+#include "exec/counted_relation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace lsens {
+
+int CompareRows(std::span<const Value> a, std::span<const Value> b) {
+  LSENS_CHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+CountedRelation::CountedRelation(AttributeSet attrs)
+    : attrs_(std::move(attrs)) {
+  LSENS_CHECK_MSG(IsValidAttributeSet(attrs_),
+                  "CountedRelation attrs must be sorted and unique");
+}
+
+CountedRelation CountedRelation::Unit() {
+  CountedRelation unit{AttributeSet{}};
+  unit.counts_.push_back(Count::One());
+  return unit;
+}
+
+CountedRelation CountedRelation::FromAtom(const Relation& rel,
+                                          const Atom& atom,
+                                          const AttributeSet& keep) {
+  LSENS_CHECK(atom.vars.size() == rel.arity());
+  LSENS_CHECK_MSG(IsSubset(keep, atom.VarSet()),
+                  "projection must keep a subset of the atom's variables");
+  // Column positions: keep[j] lives at rel column keep_cols[j]; predicates
+  // evaluate against pred_cols[p].
+  std::vector<size_t> keep_cols(keep.size());
+  for (size_t j = 0; j < keep.size(); ++j) {
+    size_t col = 0;
+    while (atom.vars[col] != keep[j]) ++col;
+    keep_cols[j] = col;
+  }
+  std::vector<size_t> pred_cols(atom.predicates.size());
+  for (size_t p = 0; p < atom.predicates.size(); ++p) {
+    size_t col = 0;
+    while (atom.vars[col] != atom.predicates[p].var) ++col;
+    pred_cols[p] = col;
+  }
+
+  CountedRelation out(keep);
+  out.Reserve(rel.NumRows());
+  std::vector<Value> projected(keep.size());
+  for (size_t i = 0; i < rel.NumRows(); ++i) {
+    std::span<const Value> row = rel.Row(i);
+    bool pass = true;
+    for (size_t p = 0; p < atom.predicates.size() && pass; ++p) {
+      pass = atom.predicates[p].Eval(row[pred_cols[p]]);
+    }
+    if (!pass) continue;
+    for (size_t j = 0; j < keep.size(); ++j) projected[j] = row[keep_cols[j]];
+    out.AppendRow(projected, Count::One());
+  }
+  out.Normalize();
+  return out;
+}
+
+void CountedRelation::AppendRow(std::span<const Value> row, Count count) {
+  LSENS_CHECK(row.size() == arity());
+  data_.insert(data_.end(), row.begin(), row.end());
+  counts_.push_back(count);
+  normalized_ = false;
+}
+
+void CountedRelation::Normalize() {
+  const size_t n = NumRows();
+  const size_t k = arity();
+  if (n == 0) {
+    normalized_ = true;
+    return;
+  }
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return CompareRows(Row(a), Row(b)) < 0;
+  });
+  std::vector<Value> new_data;
+  new_data.reserve(data_.size());
+  std::vector<Count> new_counts;
+  new_counts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const Value> row = Row(perm[i]);
+    if (!new_counts.empty() &&
+        CompareRows({new_data.data() + (new_counts.size() - 1) * k, k}, row) ==
+            0) {
+      new_counts.back() += counts_[perm[i]];
+    } else {
+      new_data.insert(new_data.end(), row.begin(), row.end());
+      new_counts.push_back(counts_[perm[i]]);
+    }
+  }
+  // Drop zero-count rows (possible when callers append explicit zeros).
+  std::vector<Value> final_data;
+  final_data.reserve(new_data.size());
+  std::vector<Count> final_counts;
+  final_counts.reserve(new_counts.size());
+  for (size_t i = 0; i < new_counts.size(); ++i) {
+    if (new_counts[i].IsZero()) continue;
+    final_data.insert(final_data.end(), new_data.begin() + i * k,
+                      new_data.begin() + (i + 1) * k);
+    final_counts.push_back(new_counts[i]);
+  }
+  data_ = std::move(final_data);
+  counts_ = std::move(final_counts);
+  normalized_ = true;
+}
+
+Count CountedRelation::TotalCount() const {
+  LSENS_CHECK_MSG(!has_default(),
+                  "TotalCount undefined for a defaulted (top-k) relation");
+  Count total;
+  for (Count c : counts_) total += c;
+  return total;
+}
+
+Count CountedRelation::MaxCount() const {
+  Count max = default_count_;
+  for (Count c : counts_) max = std::max(max, c);
+  return max;
+}
+
+size_t CountedRelation::ArgMaxRow() const {
+  Count best = Count::Zero();
+  size_t arg = SIZE_MAX;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > best) {
+      best = counts_[i];
+      arg = i;
+    }
+  }
+  if (arg != SIZE_MAX && default_count_ > best) return SIZE_MAX;
+  return arg;
+}
+
+Count CountedRelation::Lookup(std::span<const Value> row) const {
+  LSENS_CHECK_MSG(normalized_, "Lookup requires a normalized relation");
+  LSENS_CHECK(row.size() == arity());
+  size_t lo = 0;
+  size_t hi = NumRows();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    int cmp = CompareRows(Row(mid), row);
+    if (cmp == 0) return counts_[mid];
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return default_count_;
+}
+
+void CountedRelation::TruncateTopK(size_t k) {
+  LSENS_CHECK(k > 0);
+  if (NumRows() <= k) return;
+  // Order row indices by count descending (ties by row order for
+  // determinism), keep the first k, remember the k-th count as default.
+  std::vector<uint32_t> perm(NumRows());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return counts_[b] < counts_[a];
+  });
+  Count kth = counts_[perm[k - 1]];
+  std::vector<Value> new_data;
+  new_data.reserve(k * arity());
+  std::vector<Count> new_counts;
+  new_counts.reserve(k);
+  perm.resize(k);
+  std::sort(perm.begin(), perm.end());  // preserve row order, then renorm
+  for (uint32_t idx : perm) {
+    std::span<const Value> row = Row(idx);
+    new_data.insert(new_data.end(), row.begin(), row.end());
+    new_counts.push_back(counts_[idx]);
+  }
+  data_ = std::move(new_data);
+  counts_ = std::move(new_counts);
+  default_count_ = std::max(default_count_, kth);
+  // Rows stayed in sorted order if they were; Normalize() keeps invariants.
+  if (!normalized_) Normalize();
+}
+
+void CountedRelation::Filter(
+    const std::function<bool(std::span<const Value>)>& keep) {
+  const size_t k = arity();
+  std::vector<Value> new_data;
+  std::vector<Count> new_counts;
+  new_counts.reserve(counts_.size());
+  for (size_t i = 0; i < NumRows(); ++i) {
+    std::span<const Value> row = Row(i);
+    if (!keep(row)) continue;
+    new_data.insert(new_data.end(), row.begin(), row.end());
+    new_counts.push_back(counts_[i]);
+  }
+  data_ = std::move(new_data);
+  counts_ = std::move(new_counts);
+  (void)k;
+}
+
+void CountedRelation::ScaleCounts(Count factor) {
+  for (Count& c : counts_) c *= factor;
+  default_count_ *= factor;
+  // Scaling by zero can introduce zero-count rows; restore the invariant.
+  if (factor.IsZero() && !counts_.empty()) Normalize();
+}
+
+int CountedRelation::ColumnOf(AttrId attr) const {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), attr);
+  if (it == attrs_.end() || *it != attr) return -1;
+  return static_cast<int>(it - attrs_.begin());
+}
+
+CountedRelation GroupBySum(const CountedRelation& in,
+                           const AttributeSet& group_attrs) {
+  LSENS_CHECK_MSG(!in.has_default(),
+                  "GroupBySum undefined for a defaulted (top-k) relation");
+  LSENS_CHECK(IsSubset(group_attrs, in.attrs()));
+  std::vector<int> cols;
+  cols.reserve(group_attrs.size());
+  for (AttrId a : group_attrs) cols.push_back(in.ColumnOf(a));
+
+  CountedRelation out(group_attrs);
+  out.Reserve(in.NumRows());
+  std::vector<Value> key(group_attrs.size());
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    std::span<const Value> row = in.Row(i);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      key[j] = row[static_cast<size_t>(cols[j])];
+    }
+    out.AppendRow(key, in.CountAt(i));
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace lsens

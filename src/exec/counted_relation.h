@@ -1,0 +1,114 @@
+#ifndef LSENS_EXEC_COUNTED_RELATION_H_
+#define LSENS_EXEC_COUNTED_RELATION_H_
+
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/count.h"
+#include "common/macros.h"
+#include "query/conjunctive_query.h"
+#include "storage/attribute_set.h"
+#include "storage/relation.h"
+
+namespace lsens {
+
+// A relation annotated with the paper's `cnt` multiplicity column: rows are
+// tuples over a sorted AttributeSet, each carrying a Count. This is the
+// representation all sensitivity machinery works on — the r⋈ operator
+// multiplies counts, γ sums them.
+//
+// Invariants after Normalize(): rows are lexicographically sorted, unique,
+// and have non-zero counts. Most operators produce normalized outputs.
+//
+// `default_count` implements the §5.4 top-k approximation: when non-zero it
+// is the multiplicity assumed for any row *not* explicitly stored (an upper
+// bound — the k-th largest frequency). Only join sites whose key covers all
+// attributes of the defaulted side can consume a default; callers are
+// responsible for that (NaturalJoin CHECKs it).
+class CountedRelation {
+ public:
+  explicit CountedRelation(AttributeSet attrs);
+
+  // The unit relation: zero attributes, one row, count 1. Neutral element
+  // of r⋈ (used for empty joins / single-atom queries).
+  static CountedRelation Unit();
+
+  // Ingests one atom of a query: binds columns to variables, applies the
+  // atom's predicates, projects onto `keep` (must be a subset of the atom's
+  // variables), and normalizes (duplicates grouped, counts summed).
+  static CountedRelation FromAtom(const Relation& rel, const Atom& atom,
+                                  const AttributeSet& keep);
+
+  const AttributeSet& attrs() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+  size_t NumRows() const { return counts_.size(); }
+
+  std::span<const Value> Row(size_t i) const {
+    return {data_.data() + i * arity(), arity()};
+  }
+  Count CountAt(size_t i) const { return counts_[i]; }
+
+  Count default_count() const { return default_count_; }
+  void set_default_count(Count c) { default_count_ = c; }
+  bool has_default() const { return !default_count_.IsZero(); }
+
+  void AppendRow(std::span<const Value> row, Count count);
+  void AppendRow(std::initializer_list<Value> row, Count count) {
+    AppendRow(std::span<const Value>(row.begin(), row.size()), count);
+  }
+  void Reserve(size_t rows) {
+    data_.reserve(rows * arity());
+    counts_.reserve(rows);
+  }
+
+  // Sorts rows, merges duplicates (summing counts), drops zero counts.
+  void Normalize();
+  bool normalized() const { return normalized_; }
+
+  // Σ over explicit rows (requires no default).
+  Count TotalCount() const;
+
+  // Max over explicit rows and the default; Zero for an empty relation.
+  Count MaxCount() const;
+  // Index of a row attaining MaxCount() among explicit rows; SIZE_MAX if no
+  // explicit row attains it (empty relation, or default is the max).
+  size_t ArgMaxRow() const;
+
+  // Exact-match lookup (requires normalized). Returns the row's count, or
+  // default_count() if absent.
+  Count Lookup(std::span<const Value> row) const;
+
+  // §5.4 top-k approximation: keeps the k highest-count rows and records the
+  // k-th largest count as default_count. No-op if NumRows() <= k.
+  void TruncateTopK(size_t k);
+
+  // Drops rows for which `keep` returns false. Preserves normalization.
+  void Filter(const std::function<bool(std::span<const Value>)>& keep);
+
+  // Multiplies every count (and the default) by `factor`, saturating.
+  void ScaleCounts(Count factor);
+
+  // Column position of `attr` within attrs(), or -1.
+  int ColumnOf(AttrId attr) const;
+
+ private:
+  AttributeSet attrs_;
+  std::vector<Value> data_;   // flat row-major, arity() stride
+  std::vector<Count> counts_;
+  Count default_count_ = Count::Zero();
+  bool normalized_ = true;  // vacuously true while empty
+};
+
+// Lexicographic row comparison helpers shared by join/group-by.
+int CompareRows(std::span<const Value> a, std::span<const Value> b);
+
+// γ_{group_attrs} with sum over cnt (the paper's group-by). `group_attrs`
+// must be a subset of in.attrs(); input must not carry a default.
+CountedRelation GroupBySum(const CountedRelation& in,
+                           const AttributeSet& group_attrs);
+
+}  // namespace lsens
+
+#endif  // LSENS_EXEC_COUNTED_RELATION_H_

@@ -1,0 +1,147 @@
+#include "exec/enumerate.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/join.h"
+#include "query/join_tree.h"
+
+namespace lsens {
+
+namespace {
+
+uint64_t HashRowCols(std::span<const Value> row, const std::vector<int>& cols) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    h = Mix64(h ^ static_cast<uint64_t>(row[static_cast<size_t>(c)]));
+  }
+  return h;
+}
+
+}  // namespace
+
+CountedRelation Semijoin(const CountedRelation& a, const CountedRelation& b) {
+  AttributeSet key = Intersect(a.attrs(), b.attrs());
+  if (key.empty()) {
+    if (b.NumRows() > 0) return a;
+    return CountedRelation(a.attrs());
+  }
+  std::vector<int> a_cols;
+  std::vector<int> b_cols;
+  for (AttrId attr : key) {
+    a_cols.push_back(a.ColumnOf(attr));
+    b_cols.push_back(b.ColumnOf(attr));
+  }
+  // Hash probe; 64-bit hashes are verified against real key equality via a
+  // bucket of row indices (collisions must not drop/keep wrong rows).
+  std::unordered_multimap<uint64_t, uint32_t> table;
+  table.reserve(b.NumRows());
+  for (size_t i = 0; i < b.NumRows(); ++i) {
+    table.emplace(HashRowCols(b.Row(i), b_cols), static_cast<uint32_t>(i));
+  }
+  CountedRelation out(a.attrs());
+  out.Reserve(a.NumRows());
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    std::span<const Value> row = a.Row(i);
+    auto [lo, hi] = table.equal_range(HashRowCols(row, a_cols));
+    bool match = false;
+    for (auto it = lo; it != hi && !match; ++it) {
+      std::span<const Value> brow = b.Row(it->second);
+      match = true;
+      for (size_t j = 0; j < key.size(); ++j) {
+        if (row[static_cast<size_t>(a_cols[j])] !=
+            brow[static_cast<size_t>(b_cols[j])]) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (match) out.AppendRow(row, a.CountAt(i));
+  }
+  out.Normalize();
+  return out;
+}
+
+StatusOr<CountedRelation> EnumerateJoin(const ConjunctiveQuery& q,
+                                        const Ghd& ghd, const Database& db,
+                                        const JoinOptions& options,
+                                        size_t max_rows) {
+  LSENS_RETURN_IF_ERROR(q.Validate(db));
+
+  // Materialize each bag over all of its variables (exclusive attributes
+  // included — this is full-output enumeration).
+  const size_t num_bags = ghd.bags.size();
+  std::vector<CountedRelation> bag_rel;
+  bag_rel.reserve(num_bags);
+  for (const GhdBag& bag : ghd.bags) {
+    std::vector<CountedRelation> atoms;
+    for (int a : bag.atom_indices) {
+      auto rel = db.Get(q.atom(a).relation);
+      if (!rel.ok()) return rel.status();
+      atoms.push_back(
+          CountedRelation::FromAtom(**rel, q.atom(a), q.atom(a).VarSet()));
+    }
+    std::vector<const CountedRelation*> pieces;
+    for (const auto& r : atoms) pieces.push_back(&r);
+    bag_rel.push_back(FoldJoin(std::move(pieces), options));
+    if (bag_rel.back().NumRows() > max_rows) {
+      return Status::Unsupported("bag materialization exceeds max_rows");
+    }
+  }
+
+  CountedRelation output = CountedRelation::Unit();
+  for (const JoinTree& tree : ghd.forest.trees) {
+    // Bottom-up semijoin reduction.
+    for (int bag : tree.PostOrder()) {
+      for (int child : tree.Children(bag)) {
+        bag_rel[static_cast<size_t>(bag)] = Semijoin(
+            bag_rel[static_cast<size_t>(bag)],
+            bag_rel[static_cast<size_t>(child)]);
+      }
+    }
+    // Top-down semijoin reduction.
+    for (int bag : tree.PreOrder()) {
+      int parent = tree.Parent(bag);
+      if (parent == -1) continue;
+      bag_rel[static_cast<size_t>(bag)] =
+          Semijoin(bag_rel[static_cast<size_t>(bag)],
+                   bag_rel[static_cast<size_t>(parent)]);
+    }
+    // Join reduced bags, children into parents; every intermediate is
+    // bounded by the final output of this component.
+    for (int bag : tree.PostOrder()) {
+      for (int child : tree.Children(bag)) {
+        bag_rel[static_cast<size_t>(bag)] =
+            NaturalJoin(bag_rel[static_cast<size_t>(bag)],
+                        bag_rel[static_cast<size_t>(child)], options);
+        if (bag_rel[static_cast<size_t>(bag)].NumRows() > max_rows) {
+          return Status::Unsupported("join output exceeds max_rows");
+        }
+      }
+    }
+    output = NaturalJoin(output, bag_rel[static_cast<size_t>(tree.root())],
+                         options);
+    if (output.NumRows() > max_rows) {
+      return Status::Unsupported("join output exceeds max_rows");
+    }
+  }
+  return output;
+}
+
+StatusOr<CountedRelation> EnumerateQuery(const ConjunctiveQuery& q,
+                                         const Database& db,
+                                         const JoinOptions& options,
+                                         size_t max_rows) {
+  auto forest = BuildJoinForestGYO(q);
+  if (forest.ok()) {
+    return EnumerateJoin(q, MakeTrivialGhd(q, *forest), db, options,
+                         max_rows);
+  }
+  auto searched = SearchGhd(q, q.num_atoms());
+  if (!searched.ok()) return searched.status();
+  return EnumerateJoin(q, *searched, db, options, max_rows);
+}
+
+}  // namespace lsens

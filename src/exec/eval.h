@@ -1,0 +1,44 @@
+#ifndef LSENS_EXEC_EVAL_H_
+#define LSENS_EXEC_EVAL_H_
+
+#include "common/count.h"
+#include "common/status.h"
+#include "exec/fold_join.h"
+#include "query/ghd.h"
+#include "query/join_tree.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// |Q(D)| under bag semantics for an acyclic query, evaluated Yannakakis-
+// style on the join forest: one bottom-up botjoin pass per tree (counts
+// aggregate through the tree, near-linear in the input, never in the
+// output), multiplied across connected components.
+StatusOr<Count> CountJoinForest(const ConjunctiveQuery& q,
+                                const JoinForest& forest, const Database& db,
+                                const JoinOptions& options = {});
+
+// |Q(D)| for a (possibly cyclic) query via a generalized hypertree
+// decomposition: bags are folded together with their children's botjoins
+// (greedy join order — bag-internal cross products are deferred until
+// selective pieces have pruned the accumulator).
+StatusOr<Count> CountGhd(const ConjunctiveQuery& q, const Ghd& ghd,
+                         const Database& db, const JoinOptions& options = {});
+
+// Facade: validates, decomposes (GYO, falling back to GHD search for cyclic
+// queries), and counts.
+StatusOr<Count> CountQuery(const ConjunctiveQuery& q, const Database& db,
+                           const JoinOptions& options = {},
+                           const Ghd* ghd = nullptr);
+
+// Test oracle: materializes the full join output over all variables by
+// folding atoms pairwise. Exponential in general — small inputs only.
+StatusOr<CountedRelation> BruteForceJoin(const ConjunctiveQuery& q,
+                                         const Database& db,
+                                         const JoinOptions& options = {});
+StatusOr<Count> BruteForceCount(const ConjunctiveQuery& q, const Database& db,
+                                const JoinOptions& options = {});
+
+}  // namespace lsens
+
+#endif  // LSENS_EXEC_EVAL_H_

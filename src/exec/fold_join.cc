@@ -1,0 +1,73 @@
+#include "exec/fold_join.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace lsens {
+
+CountedRelation FoldJoin(std::vector<const CountedRelation*> pieces,
+                         const JoinOptions& options) {
+  if (pieces.empty()) return CountedRelation::Unit();
+
+  std::vector<const CountedRelation*> remaining = pieces;
+  // Start from the smallest non-defaulted piece; if everything is
+  // defaulted (degenerate), undo the first piece's truncation semantics by
+  // treating its explicit rows as exact (sound upper-bound direction is
+  // preserved because defaults only ever raise counts).
+  size_t start = SIZE_MAX;
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    if (remaining[i]->has_default()) continue;
+    if (start == SIZE_MAX ||
+        remaining[i]->NumRows() < remaining[start]->NumRows()) {
+      start = i;
+    }
+  }
+  LSENS_CHECK_MSG(start != SIZE_MAX,
+                  "FoldJoin needs at least one non-defaulted piece");
+  CountedRelation acc = *remaining[start];
+  remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(start));
+
+  while (!remaining.empty()) {
+    // Pick the piece minimizing the joined row count; among pieces that
+    // share no attribute with the accumulator (cross products) only pick
+    // one if no sharing piece exists. Defaulted pieces are eligible only
+    // when covered by the accumulator's attributes.
+    size_t best = SIZE_MAX;
+    size_t best_rows = std::numeric_limits<size_t>::max();
+    bool best_shares = false;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const CountedRelation* piece = remaining[i];
+      if (piece->has_default() && !IsSubset(piece->attrs(), acc.attrs())) {
+        continue;
+      }
+      bool shares = Intersects(piece->attrs(), acc.attrs());
+      size_t rows = piece->has_default()
+                        ? acc.NumRows()  // covering join keeps acc's rows
+                        : EstimateJoinRows(acc, *piece);
+      if (best == SIZE_MAX || (shares && !best_shares) ||
+          (shares == best_shares && rows < best_rows)) {
+        best = i;
+        best_rows = rows;
+        best_shares = shares;
+      }
+    }
+    if (best == SIZE_MAX) {
+      // Only deferred defaulted pieces remain and none is covered. Undoing
+      // their truncation is not possible (rows were dropped); instead join
+      // them as exact relations over their explicit rows plus keep the
+      // default as a multiplier floor is unsound. This situation is
+      // prevented by TSens (it disables top-k truncation for relations
+      // consumed in attribute-introducing positions), so reaching it is a
+      // programming error.
+      LSENS_CHECK_MSG(false,
+                      "defaulted piece never covered by the accumulator");
+    }
+    acc = NaturalJoin(acc, *remaining[best], options);
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+  }
+  return acc;
+}
+
+}  // namespace lsens

@@ -1,0 +1,30 @@
+#ifndef LSENS_EXEC_FOLD_JOIN_H_
+#define LSENS_EXEC_FOLD_JOIN_H_
+
+#include <vector>
+
+#include "exec/join.h"
+
+namespace lsens {
+
+// Joins a set of counted relations into one, choosing the join order
+// greedily: the accumulator starts at the piece with the fewest rows (among
+// non-defaulted pieces) and each step picks the remaining piece minimizing
+// the *exact* result-row count (computed by EstimateJoinRows), preferring
+// attribute-sharing pieces over cross products. Defaulted (top-k) pieces
+// are only joined once the accumulator covers their attributes; if that
+// never happens, their truncation is undone (sound — it only tightens the
+// upper bound back to the exact value).
+//
+// This is the workhorse behind the paper's r⋈(X1, ..., Xp) expressions:
+// botjoins/topjoins (Eq. 7–8), multiplicity tables (Eq. 6, including the
+// potentially cyclic joins of §5.2's hard example), bag materialization for
+// GHDs, and query-count evaluation.
+//
+// An empty `pieces` yields the unit relation.
+CountedRelation FoldJoin(std::vector<const CountedRelation*> pieces,
+                         const JoinOptions& options = {});
+
+}  // namespace lsens
+
+#endif  // LSENS_EXEC_FOLD_JOIN_H_

@@ -1,0 +1,273 @@
+#include "exec/join.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lsens {
+
+namespace {
+
+// Precomputed column routing for one join: where each output column comes
+// from, and where the key columns live on each side.
+struct JoinLayout {
+  AttributeSet out_attrs;
+  AttributeSet key;
+  std::vector<int> a_key_cols;
+  std::vector<int> b_key_cols;
+  // For each output column: pair (side, column). side 0 = a, 1 = b.
+  std::vector<std::pair<int, int>> out_src;
+};
+
+JoinLayout MakeLayout(const CountedRelation& a, const CountedRelation& b) {
+  JoinLayout layout;
+  layout.out_attrs = Union(a.attrs(), b.attrs());
+  layout.key = Intersect(a.attrs(), b.attrs());
+  for (AttrId attr : layout.key) {
+    layout.a_key_cols.push_back(a.ColumnOf(attr));
+    layout.b_key_cols.push_back(b.ColumnOf(attr));
+  }
+  for (AttrId attr : layout.out_attrs) {
+    int ca = a.ColumnOf(attr);
+    if (ca >= 0) {
+      layout.out_src.emplace_back(0, ca);
+    } else {
+      layout.out_src.emplace_back(1, b.ColumnOf(attr));
+    }
+  }
+  return layout;
+}
+
+uint64_t HashKey(std::span<const Value> row, const std::vector<int>& cols) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    h = Mix64(h ^ static_cast<uint64_t>(row[static_cast<size_t>(c)]));
+  }
+  return h;
+}
+
+bool KeysEqual(std::span<const Value> ra, const std::vector<int>& ca,
+               std::span<const Value> rb, const std::vector<int>& cb) {
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (ra[static_cast<size_t>(ca[i])] != rb[static_cast<size_t>(cb[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EmitRow(const JoinLayout& layout, std::span<const Value> ra,
+             std::span<const Value> rb, Count count, CountedRelation* out,
+             std::vector<Value>* scratch) {
+  scratch->resize(layout.out_src.size());
+  for (size_t i = 0; i < layout.out_src.size(); ++i) {
+    const auto& [side, col] = layout.out_src[i];
+    (*scratch)[i] = (side == 0) ? ra[static_cast<size_t>(col)]
+                                : rb[static_cast<size_t>(col)];
+  }
+  out->AppendRow(*scratch, count);
+}
+
+// Join where `b` carries a default and b.attrs ⊆ a.attrs: every a-row
+// survives, multiplied by its b-match count or b's default.
+CountedRelation JoinWithDefault(const CountedRelation& a,
+                                const CountedRelation& b) {
+  LSENS_CHECK(IsSubset(b.attrs(), a.attrs()));
+  JoinLayout layout = MakeLayout(a, b);  // out_attrs == a.attrs()
+  CountedRelation out(layout.out_attrs);
+  out.Reserve(a.NumRows());
+  std::vector<Value> key(b.attrs().size());
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    std::span<const Value> row = a.Row(i);
+    for (size_t j = 0; j < layout.a_key_cols.size(); ++j) {
+      key[j] = row[static_cast<size_t>(layout.a_key_cols[j])];
+    }
+    Count multiplier = b.Lookup(key);  // falls back to b's default
+    Count c = a.CountAt(i) * multiplier;
+    if (!c.IsZero()) out.AppendRow(row, c);
+  }
+  out.Normalize();
+  return out;
+}
+
+CountedRelation CrossProduct(const CountedRelation& a,
+                             const CountedRelation& b) {
+  JoinLayout layout = MakeLayout(a, b);
+  CountedRelation out(layout.out_attrs);
+  out.Reserve(a.NumRows() * b.NumRows());
+  std::vector<Value> scratch;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    for (size_t j = 0; j < b.NumRows(); ++j) {
+      EmitRow(layout, a.Row(i), b.Row(j), a.CountAt(i) * b.CountAt(j), &out,
+              &scratch);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+CountedRelation HashJoin(const CountedRelation& a, const CountedRelation& b,
+                         const JoinLayout& layout) {
+  // Build on the smaller side.
+  const bool build_a = a.NumRows() < b.NumRows();
+  const CountedRelation& build = build_a ? a : b;
+  const CountedRelation& probe = build_a ? b : a;
+  const std::vector<int>& build_cols =
+      build_a ? layout.a_key_cols : layout.b_key_cols;
+  const std::vector<int>& probe_cols =
+      build_a ? layout.b_key_cols : layout.a_key_cols;
+
+  std::unordered_multimap<uint64_t, uint32_t> table;
+  table.reserve(build.NumRows());
+  for (size_t i = 0; i < build.NumRows(); ++i) {
+    table.emplace(HashKey(build.Row(i), build_cols),
+                  static_cast<uint32_t>(i));
+  }
+
+  CountedRelation out(layout.out_attrs);
+  std::vector<Value> scratch;
+  for (size_t j = 0; j < probe.NumRows(); ++j) {
+    std::span<const Value> pr = probe.Row(j);
+    uint64_t h = HashKey(pr, probe_cols);
+    auto [lo, hi] = table.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      std::span<const Value> br = build.Row(it->second);
+      if (!KeysEqual(br, build_cols, pr, probe_cols)) continue;
+      std::span<const Value> ra = build_a ? br : pr;
+      std::span<const Value> rb = build_a ? pr : br;
+      EmitRow(layout, ra, rb,
+              build.CountAt(it->second) * probe.CountAt(j), &out, &scratch);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+CountedRelation SortMergeJoin(const CountedRelation& a,
+                              const CountedRelation& b,
+                              const JoinLayout& layout) {
+  auto sorted_perm = [](const CountedRelation& r,
+                        const std::vector<int>& cols) {
+    std::vector<uint32_t> perm(r.NumRows());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+      std::span<const Value> rx = r.Row(x);
+      std::span<const Value> ry = r.Row(y);
+      for (int c : cols) {
+        Value vx = rx[static_cast<size_t>(c)];
+        Value vy = ry[static_cast<size_t>(c)];
+        if (vx != vy) return vx < vy;
+      }
+      return false;
+    });
+    return perm;
+  };
+  std::vector<uint32_t> pa = sorted_perm(a, layout.a_key_cols);
+  std::vector<uint32_t> pb = sorted_perm(b, layout.b_key_cols);
+
+  auto key_cmp = [&](std::span<const Value> ra, std::span<const Value> rb) {
+    for (size_t i = 0; i < layout.a_key_cols.size(); ++i) {
+      Value va = ra[static_cast<size_t>(layout.a_key_cols[i])];
+      Value vb = rb[static_cast<size_t>(layout.b_key_cols[i])];
+      if (va < vb) return -1;
+      if (va > vb) return 1;
+    }
+    return 0;
+  };
+
+  CountedRelation out(layout.out_attrs);
+  std::vector<Value> scratch;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < pa.size() && j < pb.size()) {
+    int cmp = key_cmp(a.Row(pa[i]), b.Row(pb[j]));
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      // Find the group extents on both sides.
+      size_t i_end = i + 1;
+      while (i_end < pa.size() && key_cmp(a.Row(pa[i_end]), b.Row(pb[j])) == 0)
+        ++i_end;
+      size_t j_end = j + 1;
+      while (j_end < pb.size() && key_cmp(a.Row(pa[i]), b.Row(pb[j_end])) == 0)
+        ++j_end;
+      for (size_t x = i; x < i_end; ++x) {
+        for (size_t y = j; y < j_end; ++y) {
+          EmitRow(layout, a.Row(pa[x]), b.Row(pb[y]),
+                  a.CountAt(pa[x]) * b.CountAt(pb[y]), &out, &scratch);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace
+
+CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
+                            const JoinOptions& options) {
+  // Defaulted sides: route through the covering-join path.
+  if (a.has_default() || b.has_default()) {
+    LSENS_CHECK_MSG(!(a.has_default() && b.has_default()),
+                    "at most one defaulted side per join");
+    if (b.has_default()) {
+      LSENS_CHECK_MSG(IsSubset(b.attrs(), a.attrs()),
+                      "defaulted side must be attribute-covered by the other");
+      return JoinWithDefault(a, b);
+    }
+    LSENS_CHECK_MSG(IsSubset(a.attrs(), b.attrs()),
+                    "defaulted side must be attribute-covered by the other");
+    return JoinWithDefault(b, a);
+  }
+
+  JoinLayout layout = MakeLayout(a, b);
+  if (layout.key.empty()) return CrossProduct(a, b);
+  switch (options.algorithm) {
+    case JoinAlgorithm::kSortMerge:
+      return SortMergeJoin(a, b, layout);
+    case JoinAlgorithm::kAuto:
+    case JoinAlgorithm::kHash:
+      return HashJoin(a, b, layout);
+  }
+  return HashJoin(a, b, layout);
+}
+
+size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b) {
+  AttributeSet key = Intersect(a.attrs(), b.attrs());
+  if (key.empty()) return a.NumRows() * b.NumRows();
+  std::vector<int> a_cols;
+  std::vector<int> b_cols;
+  for (AttrId attr : key) {
+    a_cols.push_back(a.ColumnOf(attr));
+    b_cols.push_back(b.ColumnOf(attr));
+  }
+  // Count key multiplicities on the smaller side, probe with the other.
+  const bool build_a = a.NumRows() < b.NumRows();
+  const CountedRelation& build = build_a ? a : b;
+  const CountedRelation& probe = build_a ? b : a;
+  const std::vector<int>& build_cols = build_a ? a_cols : b_cols;
+  const std::vector<int>& probe_cols = build_a ? b_cols : a_cols;
+  // Hash -> row count. 64-bit hashes; collisions only make the *estimate*
+  // slightly off, never correctness, so no key verification here.
+  std::unordered_map<uint64_t, size_t> freq;
+  freq.reserve(build.NumRows());
+  for (size_t i = 0; i < build.NumRows(); ++i) {
+    ++freq[HashKey(build.Row(i), build_cols)];
+  }
+  size_t total = 0;
+  for (size_t j = 0; j < probe.NumRows(); ++j) {
+    auto it = freq.find(HashKey(probe.Row(j), probe_cols));
+    if (it != freq.end()) total += it->second;
+  }
+  return total;
+}
+
+}  // namespace lsens

@@ -1,0 +1,36 @@
+#ifndef LSENS_EXEC_JOIN_H_
+#define LSENS_EXEC_JOIN_H_
+
+#include "exec/counted_relation.h"
+
+namespace lsens {
+
+// Natural-join algorithm selection. kAuto = hash join (sort-merge is kept
+// for cross-checking and because the paper describes its algorithms with
+// sort-merge joins; both produce identical normalized outputs).
+enum class JoinAlgorithm { kAuto, kHash, kSortMerge };
+
+struct JoinOptions {
+  JoinAlgorithm algorithm = JoinAlgorithm::kAuto;
+};
+
+// The paper's r⋈ operator: natural join on the shared attributes with
+// multiplicity (cnt) propagation by product. Output attributes are the
+// sorted union; an empty intersection yields a cross product.
+//
+// Defaulted (top-k truncated) inputs: at most one side may carry a
+// default_count, and that side's attributes must be covered by the other
+// side's (so unmatched rows of the covering side pick up the default
+// multiplier and no unbounded row set needs materializing). Violations
+// CHECK-fail; callers arrange join orders accordingly.
+CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
+                            const JoinOptions& options = {});
+
+// Exact number of result rows NaturalJoin(a, b) would produce, computed in
+// O(|a| + |b|) with a hash of key cardinalities. Used by FoldJoin's greedy
+// join-order heuristic.
+size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b);
+
+}  // namespace lsens
+
+#endif  // LSENS_EXEC_JOIN_H_

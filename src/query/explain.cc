@@ -1,0 +1,104 @@
+#include "query/explain.h"
+
+#include <functional>
+
+namespace lsens {
+
+namespace {
+
+std::string AttrsToString(const AttributeSet& set,
+                          const AttributeCatalog& attrs) {
+  std::string out = "{";
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (i > 0) out += ",";
+    out += attrs.Name(set[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string BagLabel(const ConjunctiveQuery& q, const AttributeCatalog& attrs,
+                     const GhdBag& bag) {
+  std::string label;
+  for (size_t i = 0; i < bag.atom_indices.size(); ++i) {
+    if (i > 0) label += "+";
+    label += q.atom(bag.atom_indices[i]).relation;
+  }
+  label += " " + AttrsToString(bag.vars, attrs);
+  return label;
+}
+
+}  // namespace
+
+std::string RenderGhdTree(const ConjunctiveQuery& q,
+                          const AttributeCatalog& attrs, const Ghd& ghd) {
+  std::string out;
+  for (size_t t = 0; t < ghd.forest.trees.size(); ++t) {
+    const JoinTree& tree = ghd.forest.trees[t];
+    if (ghd.forest.trees.size() > 1) {
+      out += "component " + std::to_string(t) + ":\n";
+    }
+    std::function<void(int, int)> render = [&](int bag, int depth) {
+      for (int i = 0; i < depth; ++i) out += "  ";
+      const GhdBag& spec = ghd.bags[static_cast<size_t>(bag)];
+      out += BagLabel(q, attrs, spec);
+      int parent = tree.Parent(bag);
+      if (parent != -1) {
+        AttributeSet link = Intersect(
+            spec.vars, ghd.bags[static_cast<size_t>(parent)].vars);
+        out += "  (link " + AttrsToString(link, attrs) + ")";
+      }
+      out += "\n";
+      for (int child : tree.Children(bag)) render(child, depth + 1);
+    };
+    render(tree.root(), 0);
+  }
+  return out;
+}
+
+std::string ExplainQuery(const ConjunctiveQuery& q,
+                         const AttributeCatalog& attrs, const Ghd* ghd) {
+  std::string out = "query: " + q.ToString(attrs) + "\n";
+
+  auto forest = BuildJoinForestGYO(q);
+  if (forest.ok()) {
+    out += "structure: acyclic (GYO)\n";
+    Ghd trivial = MakeTrivialGhd(q, *forest);
+    JoinTreeAnalysis analysis = AnalyzeJoinTree(q, *forest);
+    out += "join tree (max degree " + std::to_string(analysis.max_degree);
+    if (analysis.path_query) out += ", path query";
+    if (analysis.doubly_acyclic) out += ", doubly acyclic";
+    out += "):\n";
+    out += RenderGhdTree(q, attrs, trivial);
+    if (analysis.path_query) {
+      out += "algorithm: TSensPath (Algorithm 1, O(n log n))\n";
+    } else {
+      out += "algorithm: TSensOverGhd (Algorithm 2 over the GYO tree)\n";
+    }
+    return out;
+  }
+
+  out += "structure: cyclic\n";
+  Ghd searched;
+  const Ghd* use = ghd;
+  if (use == nullptr) {
+    auto found = SearchGhd(q, q.num_atoms());
+    if (!found.ok()) {
+      out += "no atom-partition GHD found: " + found.status().ToString() +
+             "\n";
+      return out;
+    }
+    searched = std::move(found).value();
+    use = &searched;
+    out += "decomposition: searched (width " +
+           std::to_string(searched.Width()) + ")\n";
+  } else {
+    out += "decomposition: user-supplied (width " +
+           std::to_string(use->Width()) + ")\n";
+  }
+  out += RenderGhdTree(q, attrs, *use);
+  out += "algorithm: TSensOverGhd (§5.4 GHD extension)\n";
+  return out;
+}
+
+}  // namespace lsens

@@ -1,0 +1,333 @@
+#include "query/join_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace lsens {
+
+JoinTree::JoinTree(std::vector<int> members, std::vector<int> parent_of_atom)
+    : members_(std::move(members)), parent_(std::move(parent_of_atom)) {
+  LSENS_CHECK(!members_.empty());
+  children_.resize(parent_.size());
+  for (int atom : members_) {
+    int p = parent_[static_cast<size_t>(atom)];
+    if (p == -1) {
+      LSENS_CHECK_MSG(root_ == -1, "join tree has two roots");
+      root_ = atom;
+    } else {
+      LSENS_CHECK(p >= 0 && p < static_cast<int>(parent_.size()));
+      children_[static_cast<size_t>(p)].push_back(atom);
+    }
+  }
+  LSENS_CHECK_MSG(root_ != -1, "join tree has no root");
+  for (auto& c : children_) std::sort(c.begin(), c.end());
+}
+
+int JoinTree::Parent(int atom) const {
+  LSENS_CHECK(ContainsAtom(atom));
+  return parent_[static_cast<size_t>(atom)];
+}
+
+const std::vector<int>& JoinTree::Children(int atom) const {
+  LSENS_CHECK(ContainsAtom(atom));
+  return children_[static_cast<size_t>(atom)];
+}
+
+std::vector<int> JoinTree::Neighbors(int atom) const {
+  int p = Parent(atom);
+  if (p == -1) return {};
+  std::vector<int> out;
+  for (int c : Children(p)) {
+    if (c != atom) out.push_back(c);
+  }
+  return out;
+}
+
+bool JoinTree::ContainsAtom(int atom) const {
+  if (atom < 0 || atom >= static_cast<int>(parent_.size())) return false;
+  return parent_[static_cast<size_t>(atom)] != -2;
+}
+
+std::vector<int> JoinTree::PostOrder() const {
+  std::vector<int> order;
+  order.reserve(members_.size());
+  // Iterative DFS emitting children before parents.
+  std::vector<std::pair<int, size_t>> stack;
+  stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    const auto& kids = Children(node);
+    if (next_child < kids.size()) {
+      int child = kids[next_child++];
+      stack.emplace_back(child, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+std::vector<int> JoinTree::PreOrder() const {
+  std::vector<int> order = PostOrder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+int JoinTree::MaxDegree() const {
+  int max_degree = 0;
+  for (int atom : members_) {
+    int d = static_cast<int>(Children(atom).size());
+    if (Parent(atom) != -1) ++d;
+    max_degree = std::max(max_degree, d);
+  }
+  return max_degree;
+}
+
+Status JoinTree::ValidateAgainst(const ConjunctiveQuery& q) const {
+  for (AttrId var : q.AllVars()) {
+    // Collect member atoms containing the variable.
+    std::vector<int> holders;
+    for (int atom : members_) {
+      if (Contains(q.atom(atom).VarSet(), var)) holders.push_back(atom);
+    }
+    if (holders.size() <= 1) continue;
+    // Connectivity check: walk up from each holder; the induced subgraph is
+    // connected iff every holder's nearest holder-ancestor chain stays
+    // within holders. Equivalent check: count holders whose parent-path to
+    // the "topmost holder" passes only through holders.
+    // Simpler: BFS over tree edges restricted to holders.
+    std::vector<int> queue{holders[0]};
+    std::vector<char> seen(parent_.size(), 0);
+    seen[static_cast<size_t>(holders[0])] = 1;
+    size_t reached = 1;
+    while (!queue.empty()) {
+      int node = queue.back();
+      queue.pop_back();
+      std::vector<int> adjacent = Children(node);
+      if (Parent(node) != -1) adjacent.push_back(Parent(node));
+      for (int next : adjacent) {
+        if (seen[static_cast<size_t>(next)]) continue;
+        if (!std::binary_search(holders.begin(), holders.end(), next)) {
+          continue;
+        }
+        seen[static_cast<size_t>(next)] = 1;
+        ++reached;
+        queue.push_back(next);
+      }
+    }
+    if (reached != holders.size()) {
+      return Status::Internal(
+          "running-intersection property violated for a variable");
+    }
+  }
+  return Status::OK();
+}
+
+int JoinForest::TreeOf(int atom) const {
+  for (size_t i = 0; i < trees.size(); ++i) {
+    if (trees[i].ContainsAtom(atom)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Generic GYO over arbitrary hyperedges (reused by the GHD builder).
+// edges[i] may be empty-attr; `parent` output uses -1 for roots.
+bool RunGYO(const std::vector<AttributeSet>& edges,
+            std::vector<int>* parent_out,
+            std::vector<std::vector<int>>* components_out) {
+  const int m = static_cast<int>(edges.size());
+  std::vector<char> alive(static_cast<size_t>(m), 1);
+  std::vector<int> parent(static_cast<size_t>(m), -1);
+  int remaining = m;
+
+  auto shared_vertices = [&](int i) {
+    AttributeSet shared;
+    for (AttrId v : edges[static_cast<size_t>(i)]) {
+      for (int j = 0; j < m; ++j) {
+        if (j == i || !alive[static_cast<size_t>(j)]) continue;
+        if (Contains(edges[static_cast<size_t>(j)], v)) {
+          shared.push_back(v);
+          break;
+        }
+      }
+    }
+    return shared;
+  };
+
+  while (remaining > 1) {
+    bool removed = false;
+    for (int i = 0; i < m && !removed; ++i) {
+      if (!alive[static_cast<size_t>(i)]) continue;
+      AttributeSet shared = shared_vertices(i);
+      if (shared.empty()) {
+        // Isolated component head: close it out as a root.
+        alive[static_cast<size_t>(i)] = 0;
+        --remaining;
+        removed = true;
+        break;
+      }
+      for (int j = 0; j < m; ++j) {
+        if (j == i || !alive[static_cast<size_t>(j)]) continue;
+        if (IsSubset(shared, edges[static_cast<size_t>(j)])) {
+          parent[static_cast<size_t>(i)] = j;
+          alive[static_cast<size_t>(i)] = 0;
+          --remaining;
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (!removed) return false;  // no ear: cyclic
+  }
+
+  // Partition into components by following parent links.
+  std::vector<int> root_of(static_cast<size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    int r = i;
+    while (parent[static_cast<size_t>(r)] != -1) {
+      r = parent[static_cast<size_t>(r)];
+    }
+    root_of[static_cast<size_t>(i)] = r;
+  }
+  std::map<int, std::vector<int>> by_root;
+  for (int i = 0; i < m; ++i) by_root[root_of[static_cast<size_t>(i)]].push_back(i);
+
+  components_out->clear();
+  for (auto& [root, members] : by_root) {
+    components_out->push_back(std::move(members));
+  }
+  *parent_out = std::move(parent);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<JoinForest> BuildJoinForestGYO(const ConjunctiveQuery& q) {
+  std::vector<AttributeSet> edges;
+  edges.reserve(static_cast<size_t>(q.num_atoms()));
+  for (const auto& a : q.atoms()) edges.push_back(a.VarSet());
+
+  std::vector<int> parent;
+  std::vector<std::vector<int>> components;
+  if (!RunGYO(edges, &parent, &components)) {
+    return Status::Unsupported(
+        "query hypergraph is cyclic (GYO found no ear); supply a generalized "
+        "hypertree decomposition instead");
+  }
+
+  JoinForest forest;
+  for (auto& members : components) {
+    // Build a parent vector sparse over all atoms: -2 means "not in tree".
+    std::vector<int> tree_parent(static_cast<size_t>(q.num_atoms()), -2);
+    for (int atom : members) {
+      tree_parent[static_cast<size_t>(atom)] =
+          parent[static_cast<size_t>(atom)];
+    }
+    forest.trees.emplace_back(std::move(members), std::move(tree_parent));
+  }
+  for (const auto& tree : forest.trees) {
+    LSENS_RETURN_IF_ERROR(tree.ValidateAgainst(q));
+  }
+  return forest;
+}
+
+bool IsAcyclic(const ConjunctiveQuery& q) {
+  return BuildJoinForestGYO(q).ok();
+}
+
+JoinTreeAnalysis AnalyzeJoinTree(const ConjunctiveQuery& q,
+                                 const JoinForest& forest) {
+  JoinTreeAnalysis out;
+  out.doubly_acyclic = true;
+  for (const auto& tree : forest.trees) {
+    out.max_degree = std::max(out.max_degree, tree.MaxDegree());
+    for (int atom : tree.members()) {
+      // Hyperedges of the multiplicity-table join at this node (§5.3):
+      // vars shared with the parent plus vars shared with each child.
+      std::vector<AttributeSet> edges;
+      const AttributeSet vars = q.atom(atom).VarSet();
+      if (tree.Parent(atom) != -1) {
+        AttributeSet e = Intersect(vars, q.atom(tree.Parent(atom)).VarSet());
+        if (!e.empty()) edges.push_back(std::move(e));
+      }
+      for (int child : tree.Children(atom)) {
+        AttributeSet e = Intersect(vars, q.atom(child).VarSet());
+        if (!e.empty()) edges.push_back(std::move(e));
+      }
+      if (edges.size() <= 1) continue;
+      std::vector<int> parent;
+      std::vector<std::vector<int>> components;
+      // Build a throwaway CQ-less GYO run on these edges.
+      if (!RunGYO(edges, &parent, &components)) {
+        out.doubly_acyclic = false;
+      }
+    }
+  }
+  out.path_query = !PathOrder(q).empty();
+  return out;
+}
+
+std::vector<int> PathOrder(const ConjunctiveQuery& q) {
+  const int m = q.num_atoms();
+  if (m == 0) return {};
+  if (m == 1) return {0};
+
+  // Every shared variable must occur in exactly two atoms, and each atom's
+  // shared vars must have size <= 2 (its chain links).
+  std::map<AttrId, std::vector<int>> holders;
+  for (int i = 0; i < m; ++i) {
+    for (AttrId v : q.SharedVarsOf(i)) holders[v].push_back(i);
+  }
+  for (const auto& [v, hs] : holders) {
+    if (hs.size() != 2) return {};
+  }
+  // Adjacency via single shared variables.
+  std::vector<std::vector<int>> adj(static_cast<size_t>(m));
+  for (const auto& [v, hs] : holders) {
+    adj[static_cast<size_t>(hs[0])].push_back(hs[1]);
+    adj[static_cast<size_t>(hs[1])].push_back(hs[0]);
+  }
+  // Multiple shared vars between the same atom pair would appear as repeated
+  // adjacency entries -> not a (single-attribute-link) path query.
+  int endpoints = 0;
+  int start = -1;
+  for (int i = 0; i < m; ++i) {
+    auto& a = adj[static_cast<size_t>(i)];
+    std::sort(a.begin(), a.end());
+    if (std::adjacent_find(a.begin(), a.end()) != a.end()) return {};
+    if (a.size() > 2) return {};
+    if (a.size() <= 1) {
+      ++endpoints;
+      if (start == -1) start = i;
+    }
+  }
+  if (endpoints != 2 || start == -1) return {};
+
+  // Walk the chain.
+  std::vector<int> order{start};
+  std::vector<char> used(static_cast<size_t>(m), 0);
+  used[static_cast<size_t>(start)] = 1;
+  int current = start;
+  while (static_cast<int>(order.size()) < m) {
+    int next = -1;
+    for (int cand : adj[static_cast<size_t>(current)]) {
+      if (!used[static_cast<size_t>(cand)]) {
+        next = cand;
+        break;
+      }
+    }
+    if (next == -1) return {};  // disconnected
+    order.push_back(next);
+    used[static_cast<size_t>(next)] = 1;
+    current = next;
+  }
+  return order;
+}
+
+}  // namespace lsens

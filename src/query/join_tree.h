@@ -1,0 +1,92 @@
+#ifndef LSENS_QUERY_JOIN_TREE_H_
+#define LSENS_QUERY_JOIN_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+#include "storage/attribute_set.h"
+
+namespace lsens {
+
+// A join tree over the atoms of one connected component of an acyclic
+// query's hypergraph (Section 2.2). Node identity == atom index in the
+// query; the tree stores parent/children links and traversal orders.
+class JoinTree {
+ public:
+  // Builds a tree from parent pointers: parent[i] == -1 marks the root.
+  // `members` lists the atom indices in this tree.
+  JoinTree(std::vector<int> members, std::vector<int> parent_of_atom);
+
+  int root() const { return root_; }
+  const std::vector<int>& members() const { return members_; }
+  size_t size() const { return members_.size(); }
+
+  // -1 for the root.
+  int Parent(int atom) const;
+  const std::vector<int>& Children(int atom) const;
+  // Siblings: children of the parent, excluding `atom` (empty for root).
+  std::vector<int> Neighbors(int atom) const;
+  bool ContainsAtom(int atom) const;
+
+  // Atom indices, children before parents / parents before children.
+  std::vector<int> PostOrder() const;
+  std::vector<int> PreOrder() const;
+
+  // Max degree as defined in Theorem 5.1: children count + 1 for the parent
+  // edge on non-root nodes, children count for the root.
+  int MaxDegree() const;
+
+  // Checks the running-intersection property against the query: for every
+  // variable, the atoms containing it induce a connected subtree.
+  Status ValidateAgainst(const ConjunctiveQuery& q) const;
+
+ private:
+  std::vector<int> members_;
+  int root_ = -1;
+  // Indexed by atom id (sparse; atoms outside the tree hold -2).
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+};
+
+// A join forest: one JoinTree per connected component of the hypergraph.
+struct JoinForest {
+  std::vector<JoinTree> trees;
+
+  // Index of the tree containing `atom`, or -1.
+  int TreeOf(int atom) const;
+};
+
+// GYO (Graham–Yu–Ozsoyoglu) ear decomposition. Returns the join forest if
+// the query is acyclic; Status::Unsupported with an explanation otherwise.
+// Deterministic: always removes the lowest-index ear with the lowest-index
+// witness, so tests can rely on exact shapes.
+StatusOr<JoinForest> BuildJoinForestGYO(const ConjunctiveQuery& q);
+
+// True iff the query hypergraph is GYO-acyclic.
+bool IsAcyclic(const ConjunctiveQuery& q);
+
+// Structural analysis used to pick algorithms and to report the complexity
+// parameters of Theorem 5.1 / §5.3.
+struct JoinTreeAnalysis {
+  int max_degree = 0;
+  // §5.3: for every node, the join of { vars∩parent } ∪ { vars∩child_j }
+  // is itself acyclic.
+  bool doubly_acyclic = false;
+  // §4: shared-variable structure forms a chain with single-attribute links.
+  bool path_query = false;
+};
+JoinTreeAnalysis AnalyzeJoinTree(const ConjunctiveQuery& q,
+                                 const JoinForest& forest);
+
+// Detects the path-query ordering (Section 4): returns atom indices
+// R_1..R_m such that consecutive atoms share exactly one variable, shared
+// variables of each atom are exactly its link variables, and every shared
+// variable occurs in exactly two atoms. Returns empty if not a path query.
+// Requires a connected query (single tree).
+std::vector<int> PathOrder(const ConjunctiveQuery& q);
+
+}  // namespace lsens
+
+#endif  // LSENS_QUERY_JOIN_TREE_H_

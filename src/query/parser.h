@@ -1,0 +1,35 @@
+#ifndef LSENS_QUERY_PARSER_H_
+#define LSENS_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// Parses the datalog-ish rule syntax the paper writes queries in:
+//
+//   Q(A,B,C) :- R1(A,B), R2(B,C) [, A = 3, B != 7, C < 10, ...]
+//
+// Grammar (whitespace-insensitive):
+//   rule      := head? ":-" body
+//   head      := ident "(" varlist ")"          (informational only: full
+//                                                CQs have every variable in
+//                                                the head, so it is checked
+//                                                but not stored)
+//   body      := atom_or_pred ("," atom_or_pred)*
+//   atom      := ident "(" varlist ")"
+//   predicate := ident op integer ;  op in { =, !=, <, <=, >, >= }
+//   varlist   := ident ("," ident)*
+//
+// Variable names are interned in db.attrs(); relation names must already
+// exist in `db` (arity-checked). Predicates attach to the first atom that
+// binds the variable. Returns InvalidArgument with a position-annotated
+// message on malformed input.
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text, Database& db);
+
+}  // namespace lsens
+
+#endif  // LSENS_QUERY_PARSER_H_

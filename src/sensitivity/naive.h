@@ -1,0 +1,55 @@
+#ifndef LSENS_SENSITIVITY_NAIVE_H_
+#define LSENS_SENSITIVITY_NAIVE_H_
+
+#include <vector>
+
+#include "common/count.h"
+#include "common/status.h"
+#include "exec/join.h"
+#include "query/conjunctive_query.h"
+#include "query/ghd.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// The Theorem 3.1 baseline: compute LS(Q, D) by re-evaluating |Q| once per
+// candidate change — every single-copy deletion of an existing tuple, and
+// every insertion from the representative domain (Definition 3.1). Runs in
+// polynomial data complexity but O(m · n^k) in the worst case; it exists as
+// the correctness oracle for TSens tests and for the §7.2 runtime
+// comparison ("this approach will take ×10k+ the time of TSens").
+struct NaiveOptions {
+  JoinOptions join;
+  // Evaluation plan for cyclic queries (else GYO / GHD search per call).
+  const Ghd* ghd = nullptr;
+  // Hard cap on insertion candidates per relation; exceeded -> Unsupported.
+  size_t max_insert_candidates = 2'000'000;
+};
+
+struct NaiveResult {
+  Count local_sensitivity;
+  int argmax_atom = -1;
+  // Full tuple (in the atom's column order) achieving the max.
+  std::vector<Value> argmax_tuple;
+  // Whether the max came from an insertion (upward) or deletion (downward).
+  bool argmax_is_insertion = false;
+  size_t candidates_evaluated = 0;
+};
+
+// `db` is mutated during the search (tuples are inserted/removed and always
+// restored); it is taken by reference to avoid cloning per candidate.
+StatusOr<NaiveResult> NaiveLocalSensitivity(const ConjunctiveQuery& q,
+                                            Database& db,
+                                            const NaiveOptions& options = {});
+
+// δ(t, Q, D) for one explicit candidate tuple in the relation bound by
+// `atom_index` (Definition 2.1): max of upward and downward sensitivity,
+// each measured by one re-evaluation.
+StatusOr<Count> NaiveTupleSensitivity(const ConjunctiveQuery& q, Database& db,
+                                      int atom_index,
+                                      std::span<const Value> tuple,
+                                      const NaiveOptions& options = {});
+
+}  // namespace lsens
+
+#endif  // LSENS_SENSITIVITY_NAIVE_H_

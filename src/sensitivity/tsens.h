@@ -1,0 +1,55 @@
+#ifndef LSENS_SENSITIVITY_TSENS_H_
+#define LSENS_SENSITIVITY_TSENS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ghd.h"
+#include "sensitivity/result.h"
+#include "sensitivity/tsens_engine.h"
+#include "sensitivity/tsens_path.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// Facade options for ComputeLocalSensitivity.
+struct TSensComputeOptions : TSensOptions {
+  // Use Algorithm 1 when the query is a single-attribute-link path query
+  // (ignored when keep_tables is set — Algorithm 1 does not build tables).
+  bool prefer_path_algorithm = true;
+
+  // Decomposition for cyclic queries. When null and the query is cyclic,
+  // SearchGhd() finds a minimum-width atom-partition GHD (small queries
+  // only). Acyclic queries ignore this and use their GYO join forest.
+  const Ghd* ghd = nullptr;
+};
+
+// Entry point for the local sensitivity problem (Definition 2.3): computes
+// LS(Q, D) and a most sensitive tuple. Dispatches between Algorithm 1
+// (path queries), Algorithm 2 (acyclic queries via GYO join trees), and the
+// §5.4 GHD extension (cyclic queries).
+StatusOr<SensitivityResult> ComputeLocalSensitivity(
+    const ConjunctiveQuery& q, const Database& db,
+    const TSensComputeOptions& options = {});
+
+// Turns the result's most sensitive tuple into a concrete row insertable
+// into its relation: bound attributes take the argmax values; free
+// (exclusive) attributes take any value satisfying the atom's predicates.
+// Fails if LS = 0, the argmax row is unknown (top-k default), or no single
+// value satisfies all predicates on a free attribute.
+StatusOr<std::pair<int, std::vector<Value>>> MaterializeMostSensitiveTuple(
+    const SensitivityResult& result, const ConjunctiveQuery& q);
+
+// Downward-only local sensitivity: max_t δ⁻(t) over the tuples *present*
+// in D — the deletion-propagation view the paper contrasts with (§8).
+// The result's per-atom maxima/argmaxes and tables range over the active
+// domain only; insertions are not considered. Incompatible with top_k
+// (exact tables are required).
+StatusOr<SensitivityResult> ComputeDownwardLocalSensitivity(
+    const ConjunctiveQuery& q, const Database& db,
+    const TSensComputeOptions& options = {});
+
+}  // namespace lsens
+
+#endif  // LSENS_SENSITIVITY_TSENS_H_

@@ -1,0 +1,70 @@
+#ifndef LSENS_SENSITIVITY_TSENS_ENGINE_H_
+#define LSENS_SENSITIVITY_TSENS_ENGINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/fold_join.h"
+#include "query/ghd.h"
+#include "sensitivity/result.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// Options shared by all TSens algorithm variants.
+struct TSensOptions {
+  JoinOptions join;
+
+  // §5.4 "Efficient approximations": when > 0, botjoins and topjoins keep
+  // only the top_k highest-count rows plus the k-th largest count as a
+  // default for the remaining active values. All reported sensitivities
+  // become upper bounds (AtomSensitivity::approximate is set when a table
+  // was affected).
+  size_t top_k = 0;
+
+  // Store the full multiplicity tables T_i in the result (needed by the DP
+  // truncation mechanism to look up per-tuple sensitivities).
+  bool keep_tables = false;
+
+  // Atoms whose multiplicity table should not be computed, e.g. relations
+  // whose query variables contain a superkey so δ <= 1 by construction (the
+  // paper skips Lineitem in q3 this way). Skipped atoms report
+  // max_sensitivity 0 and do not participate in the argmax.
+  std::vector<int> skip_atoms;
+};
+
+// TSens over a generalized hypertree decomposition (Algorithm 2 and its
+// §5.4 GHD extension; acyclic queries use the trivial width-1 GHD).
+//
+// Per tree of the decomposition forest:
+//   ⊥(v) = γ_{vars(v) ∩ vars(parent)} r⋈( {S_a : a ∈ v}, {⊥(c) : c child} )
+//   ⊤(v) = γ_{vars(v) ∩ vars(parent)} r⋈( {S_a : a ∈ parent}, ⊤(parent),
+//                                          {⊥(s) : s sibling} )
+//   T_a  = γ_{shared(a)}             r⋈( ⊤(bag(a)), {⊥(c) : c child},
+//                                          {S_b : b ∈ bag(a), b ≠ a} )
+// where S_a is atom a's relation projected onto its shared variables with
+// multiplicity counts (exclusive attributes contribute their multiplicity
+// and are reported as free values of the most sensitive tuple).
+//
+// Disconnected queries (§5.4): T_a counts are scaled by the product of the
+// other components' total join sizes.
+//
+// The T_a expression can factor into attribute-disjoint groups (always the
+// case for path queries: ⊤ and ⊥ share nothing). The engine exploits
+// γ_{X∪Y}(A × B) = γ_X(A) × γ_Y(B) to avoid materializing such cross
+// products unless keep_tables requires the full table.
+StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
+                                         const Ghd& ghd, const Database& db,
+                                         const TSensOptions& options = {});
+
+// δ(t) for every row of the relation bound by `atom_index`, in row order.
+// Requires `result` computed with keep_tables = true over the same query
+// and database. Rows failing the atom's predicates have sensitivity 0.
+StatusOr<std::vector<Count>> TupleSensitivities(const SensitivityResult& result,
+                                                const ConjunctiveQuery& q,
+                                                const Database& db,
+                                                int atom_index);
+
+}  // namespace lsens
+
+#endif  // LSENS_SENSITIVITY_TSENS_ENGINE_H_

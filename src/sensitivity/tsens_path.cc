@@ -1,0 +1,170 @@
+#include "sensitivity/tsens_path.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/fold_join.h"
+
+namespace lsens {
+
+StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
+                                      const std::vector<int>& order,
+                                      const Database& db,
+                                      const TSensOptions& options) {
+  LSENS_RETURN_IF_ERROR(q.ValidateForSensitivity(db));
+  if (options.keep_tables) {
+    return Status::Unsupported(
+        "TSensPath never materializes multiplicity tables; use TSensOverGhd");
+  }
+  const size_t m = order.size();
+  if (m != static_cast<size_t>(q.num_atoms()) || m < 2) {
+    return Status::InvalidArgument("order must list all >= 2 atoms");
+  }
+
+  // Link attribute between chain positions i and i+1.
+  std::vector<AttrId> link(m - 1, kInvalidAttr);
+  for (size_t i = 0; i + 1 < m; ++i) {
+    AttributeSet common =
+        Intersect(q.atom(order[i]).VarSet(), q.atom(order[i + 1]).VarSet());
+    if (common.size() != 1) {
+      return Status::InvalidArgument(
+          "not a single-attribute-link path query at position " +
+          std::to_string(i));
+    }
+    link[i] = common[0];
+  }
+
+  // S_i: counted projections onto the link attributes (predicates applied).
+  std::vector<CountedRelation> s;
+  s.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const Atom& atom = q.atom(order[i]);
+    auto rel = db.Get(atom.relation);
+    if (!rel.ok()) return rel.status();
+    AttributeSet keep;
+    if (i > 0) keep.push_back(link[i - 1]);
+    if (i + 1 < m) keep.push_back(link[i]);
+    keep = MakeAttributeSet(std::move(keep));
+    if (!IsSubset(keep, atom.VarSet())) {
+      return Status::InvalidArgument("order is not a chain over the atoms");
+    }
+    s.push_back(CountedRelation::FromAtom(**rel, atom, keep));
+  }
+
+  bool truncation_applied = false;
+  auto maybe_truncate = [&](CountedRelation* r) {
+    if (options.top_k > 0 && r->NumRows() > options.top_k) {
+      r->TruncateTopK(options.top_k);
+      truncation_applied = true;
+    }
+  };
+
+  // Topjoins: J[i] = γ_{link[i-1]} r⋈(J[i-1], S_{i-1}); J[1] = γ(S_0).
+  // (0-based: J[i] defined for i in [1, m-1].)
+  std::vector<CountedRelation> topjoin;
+  topjoin.reserve(m);
+  topjoin.emplace_back(AttributeSet{});  // J[0] placeholder, unused
+  for (size_t i = 1; i < m; ++i) {
+    AttributeSet group{link[i - 1]};
+    CountedRelation j =
+        (i == 1) ? GroupBySum(s[0], group)
+                 : GroupBySum(NaturalJoin(s[i - 1], topjoin[i - 1],
+                                          options.join),
+                              group);
+    maybe_truncate(&j);
+    topjoin.push_back(std::move(j));
+  }
+
+  // Botjoins: K[i] = γ_{link[i-1]} r⋈(K[i+1], S_i); K[m-1] = γ(S_{m-1}).
+  // (K[i] defined for i in [1, m-1], keyed on link[i-1].)
+  std::vector<CountedRelation> botjoin(m, CountedRelation(AttributeSet{}));
+  for (size_t i = m; i-- > 1;) {
+    AttributeSet group{link[i - 1]};
+    CountedRelation k =
+        (i == m - 1)
+            ? GroupBySum(s[m - 1], group)
+            : GroupBySum(NaturalJoin(s[i], botjoin[i + 1], options.join),
+                         group);
+    maybe_truncate(&k);
+    botjoin[i] = std::move(k);
+  }
+
+  SensitivityResult result;
+  result.local_sensitivity = Count::Zero();
+  result.atoms.resize(static_cast<size_t>(q.num_atoms()));
+  for (size_t i = 0; i < m; ++i) {
+    const int atom_index = order[i];
+    AtomSensitivity& out = result.atoms[static_cast<size_t>(atom_index)];
+    out.atom_index = atom_index;
+    out.relation = q.atom(atom_index).relation;
+    out.table_attrs = q.SharedVarsOf(atom_index);
+    out.free_vars = q.ExclusiveVarsOf(atom_index);
+    out.approximate = truncation_applied;
+    if (std::find(options.skip_atoms.begin(), options.skip_atoms.end(),
+                  atom_index) != options.skip_atoms.end()) {
+      out.skipped = true;
+      continue;
+    }
+
+    // δ_i = max ⊤ · max ⊥, with predicate filtering on the link values:
+    // an inserted tuple must itself satisfy the atom's predicates.
+    CountedRelation top_part =
+        (i == 0) ? CountedRelation::Unit() : topjoin[i];
+    CountedRelation bot_part =
+        (i + 1 == m) ? CountedRelation::Unit() : botjoin[i + 1];
+    {
+      const Atom& atom = q.atom(atom_index);
+      for (CountedRelation* part : {&top_part, &bot_part}) {
+        std::vector<std::pair<int, Predicate>> checks;
+        for (const Predicate& p : atom.predicates) {
+          int col = part->ColumnOf(p.var);
+          if (col >= 0) checks.emplace_back(col, p);
+        }
+        if (checks.empty()) continue;
+        part->Filter([&](std::span<const Value> row) {
+          for (const auto& [col, pred] : checks) {
+            if (!pred.Eval(row[static_cast<size_t>(col)])) return false;
+          }
+          return true;
+        });
+      }
+    }
+
+    Count top_max = top_part.MaxCount();
+    Count bot_max = bot_part.MaxCount();
+    out.max_sensitivity = top_max * bot_max;
+    if (!out.max_sensitivity.IsZero()) {
+      size_t rt = top_part.ArgMaxRow();
+      size_t rb = bot_part.ArgMaxRow();
+      bool known = (top_part.arity() == 0 || rt != SIZE_MAX) &&
+                   (bot_part.arity() == 0 || rb != SIZE_MAX);
+      if (known) {
+        std::vector<Value> argmax(out.table_attrs.size(), 0);
+        auto place = [&](const CountedRelation& part, size_t r) {
+          if (part.arity() == 0) return;
+          std::span<const Value> row = part.Row(r);
+          for (size_t j = 0; j < part.attrs().size(); ++j) {
+            auto it = std::lower_bound(out.table_attrs.begin(),
+                                       out.table_attrs.end(),
+                                       part.attrs()[j]);
+            LSENS_CHECK(it != out.table_attrs.end() &&
+                        *it == part.attrs()[j]);
+            argmax[static_cast<size_t>(it - out.table_attrs.begin())] = row[j];
+          }
+        };
+        place(top_part, rt);
+        place(bot_part, rb);
+        out.argmax = std::move(argmax);
+      }
+    }
+
+    if (out.max_sensitivity > result.local_sensitivity ||
+        (result.argmax_atom == -1 && !out.max_sensitivity.IsZero())) {
+      result.local_sensitivity = out.max_sensitivity;
+      result.argmax_atom = atom_index;
+    }
+  }
+  return result;
+}
+
+}  // namespace lsens

@@ -1,0 +1,27 @@
+#include "storage/catalog.h"
+
+#include "common/macros.h"
+
+namespace lsens {
+
+AttrId AttributeCatalog::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+AttrId AttributeCatalog::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kInvalidAttr;
+  return it->second;
+}
+
+const std::string& AttributeCatalog::Name(AttrId id) const {
+  LSENS_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size());
+  return names_[id];
+}
+
+}  // namespace lsens

@@ -1,0 +1,38 @@
+#ifndef LSENS_STORAGE_CATALOG_H_
+#define LSENS_STORAGE_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace lsens {
+
+// Maps attribute names (the query's logical variables, e.g. "NK", "custkey")
+// to dense AttrIds. Owned by Database; queries and relations share one
+// catalog so attribute identity is global.
+class AttributeCatalog {
+ public:
+  AttributeCatalog() = default;
+
+  // Returns the id for `name`, interning it on first use.
+  AttrId Intern(std::string_view name);
+
+  // Returns the id for `name` or kInvalidAttr if never interned.
+  AttrId Lookup(std::string_view name) const;
+
+  // Name for an id; CHECK-fails on invalid ids.
+  const std::string& Name(AttrId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrId> ids_;
+};
+
+}  // namespace lsens
+
+#endif  // LSENS_STORAGE_CATALOG_H_

@@ -1,0 +1,139 @@
+#include "storage/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lsens {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t pos = 0;
+  while (true) {
+    size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(pos));
+      break;
+    }
+    cells.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  // Trim surrounding whitespace per cell.
+  for (auto& cell : cells) {
+    size_t begin = cell.find_first_not_of(" \t\r");
+    size_t end = cell.find_last_not_of(" \t\r");
+    cell = (begin == std::string::npos)
+               ? std::string()
+               : cell.substr(begin, end - begin + 1);
+  }
+  return cells;
+}
+
+bool IsInteger(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LoadCsvText(Database& db, const std::string& relation,
+                   const std::string& text) {
+  if (db.Find(relation) != nullptr) {
+    return Status::InvalidArgument("relation '" + relation +
+                                   "' already exists");
+  }
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV: missing header");
+  }
+  std::vector<std::string> header = SplitLine(line);
+  for (const auto& col : header) {
+    if (col.empty()) return Status::InvalidArgument("empty column name");
+  }
+  Relation* rel = db.AddRelation(relation, header);
+
+  std::vector<Value> row(header.size());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(header.size()) + " cells, got " +
+          std::to_string(cells.size()));
+    }
+    for (size_t c = 0; c < cells.size(); ++c) {
+      row[c] = IsInteger(cells[c]) ? static_cast<Value>(std::stoll(cells[c]))
+                                   : db.dict().Intern(cells[c]);
+    }
+    rel->AppendRow(row);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> SaveCsvText(const Database& db,
+                                  const std::string& relation,
+                                  bool render_dictionary) {
+  const Relation* rel = db.Find(relation);
+  if (rel == nullptr) return Status::NotFound("relation " + relation);
+  std::ostringstream out;
+  for (size_t c = 0; c < rel->column_names().size(); ++c) {
+    const std::string& name = rel->column_names()[c];
+    if (name.find(',') != std::string::npos ||
+        name.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("column name needs quoting: " + name);
+    }
+    out << (c > 0 ? "," : "") << name;
+  }
+  out << '\n';
+  for (size_t r = 0; r < rel->NumRows(); ++r) {
+    for (size_t c = 0; c < rel->arity(); ++c) {
+      Value v = rel->At(r, c);
+      if (c > 0) out << ',';
+      if (render_dictionary && db.dict().ContainsValue(v)) {
+        const std::string& s = db.dict().String(v);
+        if (s.find(',') != std::string::npos ||
+            s.find('\n') != std::string::npos) {
+          return Status::InvalidArgument("cell value needs quoting: " + s);
+        }
+        out << s;
+      } else {
+        out << v;
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status LoadCsv(Database& db, const std::string& relation,
+               const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsvText(db, relation, buffer.str());
+}
+
+Status SaveCsv(const Database& db, const std::string& relation,
+               const std::string& path, bool render_dictionary) {
+  auto text = SaveCsvText(db, relation, render_dictionary);
+  if (!text.ok()) return text.status();
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << *text;
+  return out ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+}  // namespace lsens

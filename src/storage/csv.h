@@ -1,0 +1,36 @@
+#ifndef LSENS_STORAGE_CSV_H_
+#define LSENS_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// Plain-CSV interchange for relations. Cells are either integers (stored
+// verbatim) or arbitrary strings (interned through the database dictionary
+// so joins still run over flat int64 rows). No quoting/escaping — values
+// must not contain commas or newlines (validated on write).
+
+// Loads `path` into a new relation named `relation`. The first line is the
+// header (column names). Fails if the relation already exists.
+Status LoadCsv(Database& db, const std::string& relation,
+               const std::string& path);
+
+// Writes the relation to `path`, rendering dictionary-interned values back
+// to their strings when `render_dictionary` is set (integers that happen to
+// collide with dictionary codes stay numeric when it is not).
+Status SaveCsv(const Database& db, const std::string& relation,
+               const std::string& path, bool render_dictionary = false);
+
+// In-memory variants (used by tests and by the file functions).
+Status LoadCsvText(Database& db, const std::string& relation,
+                   const std::string& text);
+StatusOr<std::string> SaveCsvText(const Database& db,
+                                  const std::string& relation,
+                                  bool render_dictionary = false);
+
+}  // namespace lsens
+
+#endif  // LSENS_STORAGE_CSV_H_

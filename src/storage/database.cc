@@ -1,0 +1,57 @@
+#include "storage/database.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace lsens {
+
+Database Database::Clone() const {
+  Database out;
+  out.attrs_ = attrs_;
+  out.dict_ = dict_;
+  out.names_ = names_;
+  for (const auto& name : names_) {
+    auto it = relations_.find(name);
+    LSENS_CHECK(it != relations_.end());
+    out.relations_.emplace(name, std::make_unique<Relation>(*it->second));
+  }
+  return out;
+}
+
+Relation* Database::AddRelation(std::string name,
+                                std::vector<std::string> column_names) {
+  LSENS_CHECK_MSG(relations_.find(name) == relations_.end(),
+                  "duplicate relation name");
+  auto rel = std::make_unique<Relation>(name, std::move(column_names));
+  Relation* ptr = rel.get();
+  names_.push_back(name);
+  relations_.emplace(std::move(name), std::move(rel));
+  return ptr;
+}
+
+Relation* Database::Find(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<const Relation*> Database::Get(const std::string& name) const {
+  const Relation* r = Find(name);
+  if (r == nullptr) {
+    return Status::NotFound("relation '" + name + "' not in database");
+  }
+  return r;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel->NumRows();
+  return total;
+}
+
+}  // namespace lsens

@@ -1,0 +1,62 @@
+#ifndef LSENS_STORAGE_DATABASE_H_
+#define LSENS_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/dictionary.h"
+#include "storage/relation.h"
+
+namespace lsens {
+
+// A database instance: a set of named relations plus the shared attribute
+// catalog (query variables) and an optional value dictionary for symbolic
+// domains. Relations are stored by unique name; self-joins are expressed by
+// materializing a second copy under a different name (the paper's model).
+class Database {
+ public:
+  Database() = default;
+
+  // Movable, not copyable (relations can be large); use Clone() when a
+  // deep copy is genuinely needed (e.g. truncation mechanisms).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Database Clone() const;
+
+  // Adds an empty relation; CHECK-fails if the name already exists.
+  Relation* AddRelation(std::string name,
+                        std::vector<std::string> column_names);
+
+  // Lookup; nullptr if absent.
+  Relation* Find(const std::string& name);
+  const Relation* Find(const std::string& name) const;
+
+  // Lookup; Status if absent.
+  StatusOr<const Relation*> Get(const std::string& name) const;
+
+  const std::vector<std::string>& relation_names() const { return names_; }
+
+  size_t TotalRows() const;
+
+  AttributeCatalog& attrs() { return attrs_; }
+  const AttributeCatalog& attrs() const { return attrs_; }
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+ private:
+  std::vector<std::string> names_;  // insertion order, for stable iteration
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  AttributeCatalog attrs_;
+  Dictionary dict_;
+};
+
+}  // namespace lsens
+
+#endif  // LSENS_STORAGE_DATABASE_H_

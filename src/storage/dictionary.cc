@@ -1,0 +1,27 @@
+#include "storage/dictionary.h"
+
+#include "common/macros.h"
+
+namespace lsens {
+
+Value Dictionary::Intern(std::string_view s) {
+  auto it = values_.find(std::string(s));
+  if (it != values_.end()) return it->second;
+  Value v = kBase + static_cast<Value>(strings_.size());
+  strings_.emplace_back(s);
+  values_.emplace(strings_.back(), v);
+  return v;
+}
+
+Value Dictionary::Lookup(std::string_view s) const {
+  auto it = values_.find(std::string(s));
+  if (it == values_.end()) return -1;
+  return it->second;
+}
+
+const std::string& Dictionary::String(Value v) const {
+  LSENS_CHECK(ContainsValue(v));
+  return strings_[static_cast<size_t>(v - kBase)];
+}
+
+}  // namespace lsens

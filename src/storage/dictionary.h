@@ -1,0 +1,50 @@
+#ifndef LSENS_STORAGE_DICTIONARY_H_
+#define LSENS_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace lsens {
+
+// Interns string attribute values as Values so relations stay flat int64
+// rows. Used by examples and workloads with symbolic domains (e.g. the
+// Figure 1 database: a1, b2, ...).
+//
+// Codes start at kBase (10^12) so they never collide with ordinary integer
+// data in the same column — ContainsValue() can then reliably distinguish
+// interned strings from raw numbers (the CSV layer depends on this when
+// rendering mixed columns).
+class Dictionary {
+ public:
+  static constexpr Value kBase = 1'000'000'000'000;
+
+  Dictionary() = default;
+
+  // Returns the Value encoding `s`, interning on first use.
+  Value Intern(std::string_view s);
+
+  // Returns the encoding or -1 if absent.
+  Value Lookup(std::string_view s) const;
+
+  // String for a previously interned value; CHECK-fails otherwise.
+  const std::string& String(Value v) const;
+
+  bool ContainsValue(Value v) const {
+    return v >= kBase &&
+           static_cast<size_t>(v - kBase) < strings_.size();
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Value> values_;
+};
+
+}  // namespace lsens
+
+#endif  // LSENS_STORAGE_DICTIONARY_H_

@@ -1,0 +1,35 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lsens {
+
+Relation::Relation(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {
+  LSENS_CHECK_MSG(!column_names_.empty(), "relation needs >= 1 column");
+}
+
+void Relation::SwapRemoveRow(size_t i) {
+  size_t n = NumRows();
+  LSENS_CHECK(i < n);
+  size_t k = arity();
+  if (i != n - 1) {
+    std::copy_n(data_.begin() + (n - 1) * k, k, data_.begin() + i * k);
+  }
+  data_.resize((n - 1) * k);
+}
+
+int Relation::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Relation::IdenticalTo(const Relation& other) const {
+  return name_ == other.name_ && column_names_ == other.column_names_ &&
+         data_ == other.data_;
+}
+
+}  // namespace lsens

@@ -1,0 +1,20 @@
+#ifndef LSENS_STORAGE_VALUE_H_
+#define LSENS_STORAGE_VALUE_H_
+
+#include <cstdint>
+
+namespace lsens {
+
+// All attribute values are 64-bit integers. String-valued attributes are
+// interned through Dictionary (storage/dictionary.h); keys in the synthetic
+// workloads are integers already. This keeps rows flat and joins cheap.
+using Value = int64_t;
+
+// Attribute identifier, assigned by AttributeCatalog.
+using AttrId = int32_t;
+
+inline constexpr AttrId kInvalidAttr = -1;
+
+}  // namespace lsens
+
+#endif  // LSENS_STORAGE_VALUE_H_

@@ -1,0 +1,56 @@
+#ifndef LSENS_WORKLOAD_QUERIES_H_
+#define LSENS_WORKLOAD_QUERIES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "query/ghd.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// One evaluation query from the paper's Section 7 (Figure 5), bundled with
+// everything the experiments need: the decomposition for cyclic queries,
+// the atoms whose multiplicity tables are skipped (superkey relations, as
+// the paper does for Lineitem in q3), the primary private relation for the
+// DP experiments, and the paper's assumed tuple-sensitivity upper bound ℓ.
+struct WorkloadQuery {
+  std::string name;
+  ConjunctiveQuery query;
+  std::optional<Ghd> ghd;       // engaged for cyclic queries
+  std::vector<int> skip_atoms;  // §7.2 superkey skips
+  int private_atom = -1;        // PR for §7.3
+  uint64_t ell = 0;             // §7.3 assumed max tuple sensitivity
+
+  const Ghd* ghd_ptr() const { return ghd ? &*ghd : nullptr; }
+};
+
+// TPC-H queries (Figure 5a). The database must come from MakeTpchDatabase.
+//   q1: path  R(RK), N(RK,NK), C(NK,CK), O(CK,OK), L(OK,·,·)
+//   q2: acyclic  PS(SK,PK), S(·,SK), P(PK), L(·,SK,PK)
+//   q3: cyclic universal join with customer/supplier nation equality;
+//       GHD bags {R,N,L} {O,C} {S,P} {PS}
+WorkloadQuery MakeTpchQ1(Database& db);
+WorkloadQuery MakeTpchQ2(Database& db);
+WorkloadQuery MakeTpchQ3(Database& db);
+
+// Facebook ego-network queries (Figure 5b) over MakeSocialDatabase output.
+//   q△ (triangle): R1(A,B), R2(B,C), R3(C,A); GHD {R1,R2} {R3}
+//   qw (path):     R1(A,B), R2(B,C), R3(C,D), R4(D,E)
+//   q○ (4-cycle):  R1(A,B), R2(B,C), R3(C,D), R4(D,A); GHD {R1,R2} {R3,R4}
+//   q⋆ (star):     RT(A,B,C), R1(A,B), R2(B,C), R3(C,A)  (acyclic)
+WorkloadQuery MakeFacebookTriangle(Database& db);
+WorkloadQuery MakeFacebookPath(Database& db);
+WorkloadQuery MakeFacebookCycle(Database& db);
+WorkloadQuery MakeFacebookStar(Database& db);
+
+// All seven in the paper's Table 2 order: q1, q2, q3, q△, qw, q○, q⋆.
+// `tpch` and `social` must outlive the returned queries.
+std::vector<WorkloadQuery> MakeAllWorkloadQueries(Database& tpch,
+                                                  Database& social);
+
+}  // namespace lsens
+
+#endif  // LSENS_WORKLOAD_QUERIES_H_

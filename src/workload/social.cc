@@ -1,0 +1,98 @@
+#include "workload/social.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace lsens {
+
+Database MakeSocialDatabase(const SocialOptions& options) {
+  LSENS_CHECK(options.num_nodes >= 3);
+  Rng rng(options.seed);
+
+  // 1. Sample circles: heavy-tailed member counts over random node sets.
+  struct Circle {
+    std::vector<int> members;
+    std::set<std::pair<int, int>> edges;  // undirected, first < second
+  };
+  // Node popularity is Zipf-distributed: ego-network circles share hub
+  // members heavily (everyone is a friend of the ego), which is what makes
+  // the same edge appear in several circles — and therefore in several of
+  // the R1..R4 tables. Without that overlap the cross-table queries
+  // (triangle, star) would be empty, unlike the paper's.
+  std::vector<Circle> circles(static_cast<size_t>(options.num_circles));
+  for (auto& circle : circles) {
+    int size = 2 + static_cast<int>(rng.NextZipf(
+                       static_cast<uint64_t>(options.max_circle_size - 1),
+                       options.circle_skew));
+    std::set<int> members;
+    while (static_cast<int>(members.size()) < size) {
+      members.insert(static_cast<int>(
+          rng.NextZipf(static_cast<uint64_t>(options.num_nodes),
+                       options.node_popularity_skew) -
+          1));
+    }
+    circle.members.assign(members.begin(), members.end());
+  }
+
+  // 2. Add intra-circle edges until the directed-edge budget is reached.
+  //    (Distinct edges are counted once per table they land in; circles are
+  //    processed round-robin so the budget cuts uniformly.)
+  std::set<std::pair<int, int>> global_edges;
+  size_t directed_budget = static_cast<size_t>(options.target_directed_edges);
+  for (auto& circle : circles) {
+    if (2 * global_edges.size() >= directed_budget) break;
+    for (size_t i = 0; i < circle.members.size(); ++i) {
+      for (size_t j = i + 1; j < circle.members.size(); ++j) {
+        if (rng.NextDouble() >= options.edge_probability) continue;
+        auto edge = std::minmax(circle.members[i], circle.members[j]);
+        circle.edges.insert({edge.first, edge.second});
+        global_edges.insert({edge.first, edge.second});
+      }
+    }
+  }
+
+  // 3. Rank circles by edge count descending; deal into R1..R4.
+  std::vector<size_t> rank(circles.size());
+  for (size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+  std::stable_sort(rank.begin(), rank.end(), [&](size_t a, size_t b) {
+    return circles[a].edges.size() > circles[b].edges.size();
+  });
+
+  Database db;
+  Relation* tables[4];
+  for (int t = 0; t < 4; ++t) {
+    tables[t] = db.AddRelation("R" + std::to_string(t + 1), {"x", "y"});
+  }
+  std::set<std::pair<int, int>> dedup[4];  // directed edges per table
+  for (size_t pos = 0; pos < rank.size(); ++pos) {
+    const Circle& circle = circles[rank[pos]];
+    int t = static_cast<int>(pos % 4);
+    for (const auto& [u, v] : circle.edges) {
+      // Bidirected; dedupe within a table (the same edge can reach a table
+      // through two circles).
+      if (dedup[t].insert({u, v}).second) tables[t]->AppendRow({u, v});
+      if (dedup[t].insert({v, u}).second) tables[t]->AppendRow({v, u});
+    }
+  }
+
+  // 4. Triangle table from R4's directed edges.
+  Relation* rt = db.AddRelation("RT", {"x", "y", "z"});
+  const auto& e4 = dedup[3];
+  // Adjacency list for the triangle enumeration.
+  std::vector<std::vector<int>> adj(static_cast<size_t>(options.num_nodes));
+  for (const auto& [u, v] : e4) adj[static_cast<size_t>(u)].push_back(v);
+  for (const auto& [x, y] : e4) {
+    for (int z : adj[static_cast<size_t>(y)]) {
+      if (e4.count({z, x}) > 0) rt->AppendRow({x, y, z});
+    }
+  }
+
+  return db;
+}
+
+}  // namespace lsens

@@ -1,0 +1,43 @@
+#ifndef LSENS_WORKLOAD_SOCIAL_H_
+#define LSENS_WORKLOAD_SOCIAL_H_
+
+#include <cstdint>
+
+#include "storage/database.h"
+
+namespace lsens {
+
+// Synthetic substitute for the SNAP Facebook ego-network of user 348
+// (225 nodes, 6384 directed edges, 567 social circles). The paper's
+// construction: sort circles by size descending, deal circle j's edge set
+// E_j into table R_{(rank mod 4)+1}, and build a triangle table
+// RT(x,y,z) :- R4(x,y), R4(y,z), R4(z,x). All edges are bidirected.
+//
+// What matters for the experiments is hub-degree skew (drives the large
+// path-query sensitivities) and triangle density; the generator reproduces
+// both with overlapping heavy-tailed circles. See DESIGN.md §3.
+struct SocialOptions {
+  int num_nodes = 225;
+  int num_circles = 567;
+  // Target number of directed edges across all tables (before the circle
+  // partition); the generator stops adding circle edges near this budget.
+  int target_directed_edges = 6384;
+  // Circle sizes are 2 + Zipf(max_circle_size - 1, circle_skew).
+  int max_circle_size = 24;
+  double circle_skew = 0.9;
+  // Circle members are drawn with Zipf(num_nodes, node_popularity_skew)
+  // popularity: hubs belong to many circles, so circles overlap (and the
+  // same edge lands in several of R1..R4 — required for the cross-table
+  // triangle/star queries to be non-empty, as in the real ego-network).
+  double node_popularity_skew = 0.75;
+  // Probability that a member pair of a circle is connected.
+  double edge_probability = 0.55;
+  uint64_t seed = 348;
+};
+
+// Produces tables R1..R4 (columns {x, y}) and RT (columns {x, y, z}).
+Database MakeSocialDatabase(const SocialOptions& options);
+
+}  // namespace lsens
+
+#endif  // LSENS_WORKLOAD_SOCIAL_H_

@@ -1,0 +1,111 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lsens {
+
+namespace {
+size_t Scaled(double base, double scale) {
+  return static_cast<size_t>(std::max(1.0, std::round(base * scale)));
+}
+}  // namespace
+
+TpchCardinalities TpchSizes(double scale) {
+  TpchCardinalities c;
+  c.region = 5;
+  c.nation = 25;
+  c.supplier = Scaled(10'000, scale);
+  c.customer = Scaled(150'000, scale);
+  c.orders = Scaled(1'500'000, scale);
+  c.part = Scaled(200'000, scale);
+  c.partsupp = Scaled(800'000, scale);
+  c.lineitem = Scaled(6'000'000, scale);
+  return c;
+}
+
+Database MakeTpchDatabase(const TpchOptions& options) {
+  TpchCardinalities n = TpchSizes(options.scale);
+  Rng rng(options.seed);
+  Database db;
+
+  Relation* region = db.AddRelation("Region", {"RK"});
+  region->Reserve(n.region);
+  for (size_t rk = 0; rk < n.region; ++rk) {
+    region->AppendRow({static_cast<Value>(rk)});
+  }
+
+  Relation* nation = db.AddRelation("Nation", {"RK", "NK"});
+  nation->Reserve(n.nation);
+  for (size_t nk = 0; nk < n.nation; ++nk) {
+    nation->AppendRow(
+        {static_cast<Value>(nk % n.region), static_cast<Value>(nk)});
+  }
+
+  Relation* supplier = db.AddRelation("Supplier", {"NK", "SK"});
+  supplier->Reserve(n.supplier);
+  for (size_t sk = 0; sk < n.supplier; ++sk) {
+    supplier->AppendRow({static_cast<Value>(rng.NextBounded(n.nation)),
+                         static_cast<Value>(sk)});
+  }
+
+  Relation* customer = db.AddRelation("Customer", {"NK", "CK"});
+  customer->Reserve(n.customer);
+  for (size_t ck = 0; ck < n.customer; ++ck) {
+    customer->AppendRow({static_cast<Value>(rng.NextBounded(n.nation)),
+                         static_cast<Value>(ck)});
+  }
+
+  // Orders: mildly skewed toward low customer keys so some customers carry
+  // many more orders than the mean (drives interesting sensitivities).
+  Relation* orders = db.AddRelation("Orders", {"CK", "OK"});
+  orders->Reserve(n.orders);
+  for (size_t ok = 0; ok < n.orders; ++ok) {
+    uint64_t ck = rng.NextZipf(n.customer, options.customer_skew) - 1;
+    orders->AppendRow({static_cast<Value>(ck), static_cast<Value>(ok)});
+  }
+
+  Relation* part = db.AddRelation("Part", {"PK"});
+  part->Reserve(n.part);
+  for (size_t pk = 0; pk < n.part; ++pk) {
+    part->AppendRow({static_cast<Value>(pk)});
+  }
+
+  // Partsupp: each part has ~partsupp/part *distinct* suppliers (4 at
+  // standard ratios). Like dbgen, the assignment is deterministic and
+  // spreads parts evenly across suppliers — every supplier ends up with
+  // (almost exactly) partsupp/supplier parts, which keeps the per-supplier
+  // lineitem distribution tightly concentrated (matters for the §6
+  // truncation behaviour on q2).
+  Relation* partsupp = db.AddRelation("Partsupp", {"SK", "PK"});
+  partsupp->Reserve(n.partsupp);
+  size_t per_part =
+      std::min(n.supplier, std::max<size_t>(1, n.partsupp / n.part));
+  size_t stride = std::max<size_t>(1, n.supplier / per_part);
+  for (size_t pk = 0; pk < n.part; ++pk) {
+    for (size_t i = 0; i < per_part; ++i) {
+      size_t sk = (pk + i * stride) % n.supplier;
+      partsupp->AppendRow({static_cast<Value>(sk), static_cast<Value>(pk)});
+    }
+  }
+
+  // Lineitem: 1..7 items per order, each referencing a Partsupp pair.
+  Relation* lineitem = db.AddRelation("Lineitem", {"OK", "SK", "PK"});
+  lineitem->Reserve(n.lineitem + 7);
+  size_t emitted = 0;
+  for (size_t ok = 0; ok < n.orders && emitted < n.lineitem; ++ok) {
+    uint64_t items = 1 + rng.NextBounded(7);
+    for (uint64_t i = 0; i < items && emitted < n.lineitem; ++i) {
+      size_t ps = rng.NextBounded(partsupp->NumRows());
+      lineitem->AppendRow({static_cast<Value>(ok), partsupp->At(ps, 0),
+                           partsupp->At(ps, 1)});
+      ++emitted;
+    }
+  }
+
+  return db;
+}
+
+}  // namespace lsens

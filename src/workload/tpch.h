@@ -1,0 +1,45 @@
+#ifndef LSENS_WORKLOAD_TPCH_H_
+#define LSENS_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+
+#include "storage/database.h"
+
+namespace lsens {
+
+// Synthetic TPC-H substitute (the paper uses dbgen [39]; we generate data
+// with the standard TPC-H cardinality ratios and foreign-key structure so
+// the join-key frequency distributions — which drive sensitivities — match
+// in expectation).
+//
+// Schema (paper Section 7.1):
+//   Region(RK)            5
+//   Nation(RK, NK)        25
+//   Supplier(NK, SK)      10,000 · sf
+//   Customer(NK, CK)      150,000 · sf
+//   Orders(CK, OK)        1,500,000 · sf   (~10 orders per customer)
+//   Part(PK)              200,000 · sf
+//   Partsupp(SK, PK)      800,000 · sf     (4 suppliers per part)
+//   Lineitem(OK, SK, PK)  ~6,000,000 · sf  (1..7 lineitems per order,
+//                                           (SK, PK) drawn from Partsupp)
+struct TpchOptions {
+  double scale = 0.01;
+  uint64_t seed = 20200419;  // deterministic; change to resample
+  // Orders per customer are skewed (some customers order much more) —
+  // zipf exponent 0 = uniform. 0.3 puts the busiest customer's tuple
+  // sensitivity in q1 around 10-15x the mean, like the paper's setup where
+  // the learned truncation threshold (119) sits just above ℓ = 100.
+  double customer_skew = 0.3;
+};
+
+Database MakeTpchDatabase(const TpchOptions& options);
+
+// Scaled cardinalities (all >= 1) for reporting.
+struct TpchCardinalities {
+  size_t region, nation, supplier, customer, orders, part, partsupp, lineitem;
+};
+TpchCardinalities TpchSizes(double scale);
+
+}  // namespace lsens
+
+#endif  // LSENS_WORKLOAD_TPCH_H_

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/csv.h"
+#include "storage/database.h"
+
+namespace lsens {
+namespace {
+
+TEST(CsvTest, LoadsIntegersAndStrings) {
+  Database db;
+  Status s = LoadCsvText(db, "Flights",
+                         "src,dst,count\n"
+                         "NYC,LHR,3\n"
+                         "NYC,CDG,2\n");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const Relation* rel = db.Find("Flights");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->NumRows(), 2u);
+  EXPECT_EQ(rel->column_names(),
+            (std::vector<std::string>{"src", "dst", "count"}));
+  // Strings interned; integers verbatim.
+  EXPECT_EQ(rel->At(0, 0), db.dict().Lookup("NYC"));
+  EXPECT_EQ(rel->At(0, 1), db.dict().Lookup("LHR"));
+  EXPECT_EQ(rel->At(0, 2), 3);
+  EXPECT_EQ(rel->At(1, 2), 2);
+}
+
+TEST(CsvTest, TrimsWhitespaceAndSkipsBlankLines) {
+  Database db;
+  Status s = LoadCsvText(db, "R",
+                         " a , b \n"
+                         " 1 ,  2 \n"
+                         "\n"
+                         "3,4\n");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const Relation* rel = db.Find("R");
+  EXPECT_EQ(rel->NumRows(), 2u);
+  EXPECT_EQ(rel->column_names()[0], "a");
+  EXPECT_EQ(rel->At(0, 0), 1);
+  EXPECT_EQ(rel->At(1, 1), 4);
+}
+
+TEST(CsvTest, NegativeIntegersParse) {
+  Database db;
+  ASSERT_TRUE(LoadCsvText(db, "R", "a\n-17\n+4\n").ok());
+  EXPECT_EQ(db.Find("R")->At(0, 0), -17);
+  EXPECT_EQ(db.Find("R")->At(1, 0), 4);
+}
+
+TEST(CsvTest, RejectsBadInput) {
+  Database db;
+  EXPECT_FALSE(LoadCsvText(db, "R", "").ok());           // no header
+  EXPECT_FALSE(LoadCsvText(db, "S", "a,,b\n").ok());     // empty column
+  EXPECT_FALSE(LoadCsvText(db, "T", "a,b\n1\n").ok());   // arity mismatch
+  ASSERT_TRUE(LoadCsvText(db, "U", "a\n1\n").ok());
+  EXPECT_FALSE(LoadCsvText(db, "U", "a\n1\n").ok());     // duplicate name
+}
+
+TEST(CsvTest, RoundTripsThroughText) {
+  Database db;
+  ASSERT_TRUE(LoadCsvText(db, "R", "a,b\nx,1\ny,2\n").ok());
+  auto text = SaveCsvText(db, "R", /*render_dictionary=*/true);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "a,b\nx,1\ny,2\n");
+  // Numeric rendering shows the interned codes instead (offset by the
+  // dictionary base so they never collide with real integers).
+  auto numeric = SaveCsvText(db, "R", /*render_dictionary=*/false);
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_EQ(*numeric, "a,b\n" + std::to_string(Dictionary::kBase) + ",1\n" +
+                          std::to_string(Dictionary::kBase + 1) + ",2\n");
+}
+
+TEST(CsvTest, SaveUnknownRelationFails) {
+  Database db;
+  EXPECT_EQ(SaveCsvText(db, "nope").status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const char* path = "/tmp/lsens_csv_test.csv";
+  {
+    Database db;
+    ASSERT_TRUE(LoadCsvText(db, "R", "k,v\n1,one\n2,two\n").ok());
+    ASSERT_TRUE(SaveCsv(db, "R", path, /*render_dictionary=*/true).ok());
+  }
+  {
+    Database db;
+    Status s = LoadCsv(db, "R", path);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    const Relation* rel = db.Find("R");
+    ASSERT_EQ(rel->NumRows(), 2u);
+    EXPECT_EQ(rel->At(0, 0), 1);
+    EXPECT_EQ(rel->At(1, 1), db.dict().Lookup("two"));
+  }
+  std::remove(path);
+  Database db;
+  EXPECT_EQ(LoadCsv(db, "R", "/nonexistent/nope.csv").code(),
+            Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace lsens

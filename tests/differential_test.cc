@@ -1,0 +1,261 @@
+// Differential and randomized sweeps across module boundaries: every
+// component with two independent implementations (or an algebraic identity)
+// is fuzzed against itself. Parameterized over seeds so failures pinpoint a
+// reproducible stream.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/enumerate.h"
+#include "exec/eval.h"
+#include "query/ghd.h"
+#include "query/join_tree.h"
+#include "query/parser.h"
+#include "sensitivity/tsens.h"
+#include "storage/csv.h"
+#include "test_util.h"
+#include "workload/tpch.h"
+
+namespace lsens {
+namespace {
+
+using testing::MakeRandomAcyclicInstance;
+using testing::RandomQuerySpec;
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+// --- join algebra -------------------------------------------------------
+
+TEST_P(SeededTest, JoinIsCommutativeUpToNormalization) {
+  Rng rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    CountedRelation a({1, 2, 3});
+    CountedRelation b({2, 3, 4});
+    for (uint64_t i = 0; i < rng.NextBounded(12); ++i) {
+      a.AppendRow({static_cast<Value>(rng.NextBounded(3)),
+                   static_cast<Value>(rng.NextBounded(3)),
+                   static_cast<Value>(rng.NextBounded(3))},
+                  Count(1 + rng.NextBounded(4)));
+    }
+    for (uint64_t i = 0; i < rng.NextBounded(12); ++i) {
+      b.AppendRow({static_cast<Value>(rng.NextBounded(3)),
+                   static_cast<Value>(rng.NextBounded(3)),
+                   static_cast<Value>(rng.NextBounded(3))},
+                  Count(1 + rng.NextBounded(4)));
+    }
+    a.Normalize();
+    b.Normalize();
+    CountedRelation ab = NaturalJoin(a, b);
+    CountedRelation ba = NaturalJoin(b, a);
+    ASSERT_EQ(ab.NumRows(), ba.NumRows());
+    for (size_t i = 0; i < ab.NumRows(); ++i) {
+      EXPECT_EQ(CompareRows(ab.Row(i), ba.Row(i)), 0);
+      EXPECT_EQ(ab.CountAt(i), ba.CountAt(i));
+    }
+  }
+}
+
+TEST_P(SeededTest, GroupByConservesTotalCount) {
+  Rng rng(GetParam() * 17 + 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    CountedRelation r({1, 2, 3});
+    for (uint64_t i = 0; i < 1 + rng.NextBounded(20); ++i) {
+      r.AppendRow({static_cast<Value>(rng.NextBounded(4)),
+                   static_cast<Value>(rng.NextBounded(4)),
+                   static_cast<Value>(rng.NextBounded(4))},
+                  Count(1 + rng.NextBounded(5)));
+    }
+    r.Normalize();
+    Count total = r.TotalCount();
+    for (AttributeSet group :
+         {AttributeSet{}, AttributeSet{1}, AttributeSet{2, 3},
+          AttributeSet{1, 2, 3}}) {
+      EXPECT_EQ(GroupBySum(r, group).TotalCount(), total);
+    }
+  }
+}
+
+TEST_P(SeededTest, JoinAssociativityOnChains) {
+  Rng rng(GetParam() * 19 + 3);
+  for (int trial = 0; trial < 15; ++trial) {
+    auto random_rel = [&](AttributeSet attrs) {
+      CountedRelation r(std::move(attrs));
+      for (uint64_t i = 0; i < rng.NextBounded(10); ++i) {
+        std::vector<Value> row(r.arity());
+        for (auto& v : row) v = static_cast<Value>(rng.NextBounded(3));
+        r.AppendRow(row, Count(1 + rng.NextBounded(3)));
+      }
+      r.Normalize();
+      return r;
+    };
+    CountedRelation a = random_rel({1, 2});
+    CountedRelation b = random_rel({2, 3});
+    CountedRelation c = random_rel({3, 4});
+    CountedRelation left = NaturalJoin(NaturalJoin(a, b), c);
+    CountedRelation right = NaturalJoin(a, NaturalJoin(b, c));
+    ASSERT_EQ(left.NumRows(), right.NumRows());
+    for (size_t i = 0; i < left.NumRows(); ++i) {
+      EXPECT_EQ(CompareRows(left.Row(i), right.Row(i)), 0);
+      EXPECT_EQ(left.CountAt(i), right.CountAt(i));
+    }
+  }
+}
+
+// --- decomposition ------------------------------------------------------
+
+TEST_P(SeededTest, GyoIsDeterministicAndValid) {
+  Rng rng(GetParam() * 23 + 4);
+  RandomQuerySpec spec;
+  for (int trial = 0; trial < 15; ++trial) {
+    auto ex = MakeRandomAcyclicInstance(rng, spec);
+    auto f1 = BuildJoinForestGYO(ex.query);
+    auto f2 = BuildJoinForestGYO(ex.query);
+    ASSERT_TRUE(f1.ok());
+    ASSERT_TRUE(f2.ok());
+    ASSERT_EQ(f1->trees.size(), f2->trees.size());
+    for (size_t t = 0; t < f1->trees.size(); ++t) {
+      EXPECT_EQ(f1->trees[t].members(), f2->trees[t].members());
+      EXPECT_EQ(f1->trees[t].root(), f2->trees[t].root());
+      EXPECT_TRUE(f1->trees[t].ValidateAgainst(ex.query).ok());
+      for (int atom : f1->trees[t].members()) {
+        EXPECT_EQ(f1->trees[t].Parent(atom), f2->trees[t].Parent(atom));
+      }
+    }
+  }
+}
+
+TEST_P(SeededTest, AllTriangleGhdsCountIdentically) {
+  Rng rng(GetParam() * 29 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto ex = testing::MakeRandomTriangleInstance(rng, 7, 3);
+    auto brute = BruteForceCount(ex.query, ex.db);
+    ASSERT_TRUE(brute.ok());
+    for (auto bags : {std::vector<std::vector<int>>{{0, 1}, {2}},
+                      std::vector<std::vector<int>>{{1, 2}, {0}},
+                      std::vector<std::vector<int>>{{0, 2}, {1}},
+                      std::vector<std::vector<int>>{{0, 1, 2}}}) {
+      auto ghd = BuildGhd(ex.query, bags);
+      ASSERT_TRUE(ghd.ok());
+      auto count = CountGhd(ex.query, *ghd, ex.db);
+      ASSERT_TRUE(count.ok());
+      EXPECT_EQ(*count, *brute);
+      auto enumerated = EnumerateJoin(ex.query, *ghd, ex.db);
+      ASSERT_TRUE(enumerated.ok());
+      EXPECT_EQ(enumerated->TotalCount(), *brute);
+    }
+  }
+}
+
+// --- parser round trip --------------------------------------------------
+
+TEST_P(SeededTest, ParserRoundTripsGeneratedQueries) {
+  Rng rng(GetParam() * 31 + 6);
+  RandomQuerySpec spec;
+  spec.predicate_probability = 0.0;  // ToString doesn't render predicates
+  for (int trial = 0; trial < 15; ++trial) {
+    auto ex = MakeRandomAcyclicInstance(rng, spec);
+    std::string text = ex.query.ToString(ex.db.attrs());
+    // ToString renders "Q :- body"; strip the informal head "Q ".
+    auto parsed = ParseQuery(text.substr(1), ex.db);
+    ASSERT_TRUE(parsed.ok())
+        << text << " -> " << parsed.status().ToString();
+    ASSERT_EQ(parsed->num_atoms(), ex.query.num_atoms());
+    for (int i = 0; i < parsed->num_atoms(); ++i) {
+      EXPECT_EQ(parsed->atom(i).relation, ex.query.atom(i).relation);
+      EXPECT_EQ(parsed->atom(i).vars, ex.query.atom(i).vars);
+    }
+    // Same sensitivity either way.
+    auto a = ComputeLocalSensitivity(ex.query, ex.db);
+    auto b = ComputeLocalSensitivity(*parsed, ex.db);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->local_sensitivity, b->local_sensitivity);
+  }
+}
+
+// --- storage round trips ------------------------------------------------
+
+TEST_P(SeededTest, CsvRoundTripsRandomRelations) {
+  Rng rng(GetParam() * 37 + 7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Database db;
+    auto* rel = db.AddRelation("R", {"a", "b", "c"});
+    for (uint64_t i = 0; i < rng.NextBounded(30); ++i) {
+      rel->AppendRow({static_cast<Value>(rng.NextInRange(-50, 50)),
+                      static_cast<Value>(rng.NextBounded(10)),
+                      static_cast<Value>(rng.NextInRange(-5, 5))});
+    }
+    auto text = SaveCsvText(db, "R");
+    ASSERT_TRUE(text.ok());
+    Database reloaded;
+    ASSERT_TRUE(LoadCsvText(reloaded, "R", *text).ok());
+    EXPECT_TRUE(reloaded.Find("R")->IdenticalTo(*db.Find("R")));
+  }
+}
+
+// --- sensitivity algebra ------------------------------------------------
+
+TEST_P(SeededTest, LsInvariantUnderAtomPermutation) {
+  Rng rng(GetParam() * 41 + 8);
+  RandomQuerySpec spec;
+  spec.max_atoms = 4;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto ex = MakeRandomAcyclicInstance(rng, spec);
+    auto base = ComputeLocalSensitivity(ex.query, ex.db);
+    ASSERT_TRUE(base.ok());
+    // Rebuild the query with atoms reversed; the LS must not change.
+    ConjunctiveQuery reversed;
+    for (int i = ex.query.num_atoms() - 1; i >= 0; --i) {
+      reversed.AddAtom(ex.query.atom(i));
+    }
+    auto flipped = ComputeLocalSensitivity(reversed, ex.db);
+    ASSERT_TRUE(flipped.ok());
+    EXPECT_EQ(base->local_sensitivity, flipped->local_sensitivity)
+        << ex.query.ToString(ex.db.attrs());
+  }
+}
+
+TEST_P(SeededTest, DuplicatingARowRaisesItsNeighborsNotItself) {
+  // Bag-semantics sanity: duplicating tuple t doubles the paths through
+  // t's values for *other* relations, while δ(t) itself is unchanged
+  // (multiplicity tables exclude the tuple's own relation).
+  Rng rng(GetParam() * 43 + 9);
+  for (int trial = 0; trial < 10; ++trial) {
+    testing::PaperExample ex;
+    auto* r = ex.db.AddRelation("R", {"A", "B"});
+    auto* s = ex.db.AddRelation("S", {"B", "C"});
+    r->AppendRow({1, 2});
+    s->AppendRow({2, 3});
+    for (uint64_t i = 0; i < rng.NextBounded(4); ++i) r->AppendRow({1, 2});
+    ex.query.AddAtom(ex.db, "R", {"A", "B"});
+    ex.query.AddAtom(ex.db, "S", {"B", "C"});
+    uint64_t copies = r->NumRows();
+    auto result = ComputeLocalSensitivity(ex.query, ex.db);
+    ASSERT_TRUE(result.ok());
+    // δ of the S tuple = #R copies; δ of the R tuple = #S rows = 1.
+    EXPECT_EQ(result->atoms[1].max_sensitivity, Count(copies));
+    EXPECT_EQ(result->atoms[0].max_sensitivity, Count(1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- TPC-H round trip through CSV (integration) --------------------------
+
+TEST(DifferentialTest, TpchRelationsSurviveCsv) {
+  TpchOptions opts;
+  opts.scale = 0.0002;
+  Database db = MakeTpchDatabase(opts);
+  for (const auto& name : db.relation_names()) {
+    auto text = SaveCsvText(db, name);
+    ASSERT_TRUE(text.ok()) << name;
+    Database reloaded;
+    ASSERT_TRUE(LoadCsvText(reloaded, name, *text).ok()) << name;
+    EXPECT_TRUE(reloaded.Find(name)->IdenticalTo(*db.Find(name))) << name;
+  }
+}
+
+}  // namespace
+}  // namespace lsens

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "query/explain.h"
+#include "query/parser.h"
+#include "sensitivity/tsens.h"
+#include "test_util.h"
+
+namespace lsens {
+namespace {
+
+Database FigureOneDb() {
+  auto ex = testing::MakeFigure1Example();
+  return std::move(ex.db);
+}
+
+TEST(ParserTest, ParsesBodyOnlyRule) {
+  Database db = FigureOneDb();
+  auto q = ParseQuery("  :- R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F)", db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_atoms(), 4);
+  EXPECT_EQ(q->atom(0).relation, "R1");
+  EXPECT_EQ(q->atom(3).vars.size(), 2u);
+  EXPECT_TRUE(q->Validate(db).ok());
+}
+
+TEST(ParserTest, ParsesHeadAndChecksFullCq) {
+  Database db = FigureOneDb();
+  auto ok = ParseQuery("Q(A,B,C,D,E,F) :- R1(A,B,C), R2(A,B,D), R3(A,E), "
+                       "R4(B,F)",
+                       db);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  // Projection in the head is rejected (full CQs only).
+  auto projected =
+      ParseQuery("Q(A,B) :- R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F)", db);
+  EXPECT_EQ(projected.status().code(), Status::Code::kUnsupported);
+  // Head variable not in the body.
+  auto unknown = ParseQuery("Q(Z) :- R3(A,E)", db);
+  EXPECT_FALSE(unknown.ok());
+}
+
+TEST(ParserTest, ParsesPredicates) {
+  Database db = FigureOneDb();
+  auto q = ParseQuery(":- R3(A,E), R4(B,F), A = 3, F != -2, E <= 10", db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->atom(0).predicates.size(), 2u);  // A=3, E<=10 bind to R3
+  ASSERT_EQ(q->atom(1).predicates.size(), 1u);  // F!=-2 binds to R4
+  EXPECT_EQ(q->atom(0).predicates[0].op, Predicate::Op::kEq);
+  EXPECT_EQ(q->atom(0).predicates[0].rhs, 3);
+  EXPECT_EQ(q->atom(1).predicates[0].op, Predicate::Op::kNe);
+  EXPECT_EQ(q->atom(1).predicates[0].rhs, -2);
+  EXPECT_EQ(q->atom(0).predicates[1].op, Predicate::Op::kLe);
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  Database db = FigureOneDb();
+  auto q = ParseQuery(
+      ":- R1(A,B,C), A = 1, A != 2, A < 9, A <= 9, A > 0, A >= 0", db);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atom(0).predicates.size(), 6u);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  Database db = FigureOneDb();
+  EXPECT_FALSE(ParseQuery("R1(A,B,C)", db).ok());          // no ':-'
+  EXPECT_FALSE(ParseQuery(":- ", db).ok());                // no atoms
+  EXPECT_FALSE(ParseQuery(":- R1(A,B", db).ok());          // unclosed paren
+  EXPECT_FALSE(ParseQuery(":- R1(A,,B)", db).ok());        // empty var
+  EXPECT_FALSE(ParseQuery(":- R1(A,B,C) R2(A,B,D)", db).ok());  // no comma
+  EXPECT_FALSE(ParseQuery(":- R1(A,B,C), A == 3", db).ok());    // bad op:
+  // '==' parses '=' then fails on '= 3' -> error either way.
+  EXPECT_FALSE(ParseQuery(":- R1(A,B,C), Z = 3", db).ok());  // unbound var
+  EXPECT_FALSE(ParseQuery(":- R1(A,B,C), A = x", db).ok());  // non-integer
+}
+
+TEST(ParserTest, ParsedQueryComputesSensitivity) {
+  auto ex = testing::MakeFigure1Example();
+  auto q = ParseQuery(":- R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F)", ex.db);
+  ASSERT_TRUE(q.ok());
+  auto result = ComputeLocalSensitivity(*q, ex.db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->local_sensitivity, Count(4));
+}
+
+TEST(ExplainTest, AcyclicReportMentionsTreeAndAlgorithm) {
+  auto ex = testing::MakeFigure1Example();
+  std::string report = ExplainQuery(ex.query, ex.db.attrs());
+  EXPECT_NE(report.find("acyclic (GYO)"), std::string::npos);
+  EXPECT_NE(report.find("TSensOverGhd"), std::string::npos);
+  EXPECT_NE(report.find("R1"), std::string::npos);
+  EXPECT_NE(report.find("link"), std::string::npos);
+}
+
+TEST(ExplainTest, PathQueryPicksAlgorithm1) {
+  auto ex = testing::MakeFigure3Example();
+  std::string report = ExplainQuery(ex.query, ex.db.attrs());
+  EXPECT_NE(report.find("path query"), std::string::npos);
+  EXPECT_NE(report.find("TSensPath (Algorithm 1"), std::string::npos);
+}
+
+TEST(ExplainTest, CyclicReportShowsDecomposition) {
+  Database db;
+  db.AddRelation("E0", {"A", "B"});
+  db.AddRelation("E1", {"B", "C"});
+  db.AddRelation("E2", {"C", "A"});
+  ConjunctiveQuery q;
+  q.AddAtom(db, "E0", {"A", "B"});
+  q.AddAtom(db, "E1", {"B", "C"});
+  q.AddAtom(db, "E2", {"C", "A"});
+  std::string searched = ExplainQuery(q, db.attrs());
+  EXPECT_NE(searched.find("cyclic"), std::string::npos);
+  EXPECT_NE(searched.find("searched (width 2)"), std::string::npos);
+
+  auto ghd = BuildGhd(q, {{0, 1}, {2}});
+  ASSERT_TRUE(ghd.ok());
+  std::string supplied = ExplainQuery(q, db.attrs(), &*ghd);
+  EXPECT_NE(supplied.find("user-supplied (width 2)"), std::string::npos);
+  EXPECT_NE(supplied.find("E0+E1"), std::string::npos);
+}
+
+TEST(ExplainTest, DisconnectedQueryRendersComponents) {
+  Database db;
+  db.AddRelation("R", {"A"});
+  db.AddRelation("T", {"X"});
+  ConjunctiveQuery q;
+  q.AddAtom(db, "R", {"A"});
+  q.AddAtom(db, "T", {"X"});
+  std::string report = ExplainQuery(q, db.attrs());
+  EXPECT_NE(report.find("component 0"), std::string::npos);
+  EXPECT_NE(report.find("component 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsens

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "storage/attribute_set.h"
+#include "storage/catalog.h"
+#include "storage/database.h"
+#include "storage/dictionary.h"
+#include "storage/relation.h"
+
+namespace lsens {
+namespace {
+
+TEST(AttributeSetTest, MakeSortsAndDedups) {
+  EXPECT_EQ(MakeAttributeSet({3, 1, 2, 1, 3}), (AttributeSet{1, 2, 3}));
+  EXPECT_TRUE(IsValidAttributeSet({1, 2, 3}));
+  EXPECT_FALSE(IsValidAttributeSet({1, 1, 2}));
+  EXPECT_FALSE(IsValidAttributeSet({2, 1}));
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a{1, 3, 5};
+  AttributeSet b{3, 4, 5};
+  EXPECT_EQ(Union(a, b), (AttributeSet{1, 3, 4, 5}));
+  EXPECT_EQ(Intersect(a, b), (AttributeSet{3, 5}));
+  EXPECT_EQ(Difference(a, b), (AttributeSet{1}));
+  EXPECT_TRUE(Contains(a, 3));
+  EXPECT_FALSE(Contains(a, 4));
+  EXPECT_TRUE(IsSubset({3, 5}, a));
+  EXPECT_FALSE(IsSubset({3, 4}, a));
+  EXPECT_TRUE(Intersects(a, b));
+  EXPECT_FALSE(Intersects({1, 2}, {3, 4}));
+  EXPECT_TRUE(IsSubset({}, a));
+  EXPECT_FALSE(Intersects({}, a));
+}
+
+TEST(CatalogTest, InternIsIdempotent) {
+  AttributeCatalog cat;
+  AttrId a = cat.Intern("NK");
+  AttrId b = cat.Intern("CK");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(cat.Intern("NK"), a);
+  EXPECT_EQ(cat.Lookup("NK"), a);
+  EXPECT_EQ(cat.Lookup("missing"), kInvalidAttr);
+  EXPECT_EQ(cat.Name(a), "NK");
+  EXPECT_EQ(cat.size(), 2u);
+}
+
+TEST(DictionaryTest, RoundTrips) {
+  Dictionary d;
+  Value a1 = d.Intern("a1");
+  Value b2 = d.Intern("b2");
+  EXPECT_NE(a1, b2);
+  EXPECT_EQ(d.Intern("a1"), a1);
+  EXPECT_EQ(d.Lookup("a1"), a1);
+  EXPECT_EQ(d.Lookup("zz"), -1);
+  EXPECT_EQ(d.String(b2), "b2");
+  EXPECT_TRUE(d.ContainsValue(a1));
+  EXPECT_FALSE(d.ContainsValue(999));
+}
+
+TEST(DictionaryTest, CodesNeverCollideWithOrdinaryIntegers) {
+  Dictionary d;
+  Value code = d.Intern("first");
+  EXPECT_GE(code, Dictionary::kBase);
+  // Small integers (typical raw data) are never "contained".
+  for (Value v : {-1, 0, 1, 42, 1'000'000}) {
+    EXPECT_FALSE(d.ContainsValue(v)) << v;
+  }
+}
+
+TEST(RelationTest, AppendAndAccess) {
+  Relation r("R", {"A", "B"});
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_EQ(r.NumRows(), 0u);
+  r.AppendRow({1, 2});
+  r.AppendRow({3, 4});
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.At(0, 0), 1);
+  EXPECT_EQ(r.At(1, 1), 4);
+  auto row = r.Row(1);
+  EXPECT_EQ(row[0], 3);
+  EXPECT_EQ(r.ColumnIndex("B"), 1);
+  EXPECT_EQ(r.ColumnIndex("Z"), -1);
+}
+
+TEST(RelationTest, SwapRemove) {
+  Relation r("R", {"A"});
+  r.AppendRow({1});
+  r.AppendRow({2});
+  r.AppendRow({3});
+  r.SwapRemoveRow(0);  // last row replaces row 0
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.At(0, 0), 3);
+  EXPECT_EQ(r.At(1, 0), 2);
+  r.SwapRemoveRow(1);
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.At(0, 0), 3);
+}
+
+TEST(RelationTest, IdenticalTo) {
+  Relation a("R", {"A"});
+  Relation b("R", {"A"});
+  a.AppendRow({1});
+  b.AppendRow({1});
+  EXPECT_TRUE(a.IdenticalTo(b));
+  b.AppendRow({2});
+  EXPECT_FALSE(a.IdenticalTo(b));
+}
+
+TEST(DatabaseTest, AddFindGet) {
+  Database db;
+  Relation* r = db.AddRelation("R", {"A"});
+  EXPECT_EQ(db.Find("R"), r);
+  EXPECT_EQ(db.Find("S"), nullptr);
+  EXPECT_TRUE(db.Get("R").ok());
+  EXPECT_EQ(db.Get("S").status().code(), Status::Code::kNotFound);
+  r->AppendRow({1});
+  EXPECT_EQ(db.TotalRows(), 1u);
+  EXPECT_EQ(db.relation_names(), std::vector<std::string>{"R"});
+}
+
+TEST(DatabaseTest, CloneIsDeep) {
+  Database db;
+  Relation* r = db.AddRelation("R", {"A"});
+  r->AppendRow({1});
+  Database copy = db.Clone();
+  copy.Find("R")->AppendRow({2});
+  EXPECT_EQ(db.Find("R")->NumRows(), 1u);
+  EXPECT_EQ(copy.Find("R")->NumRows(), 2u);
+}
+
+TEST(DatabaseTest, ClonePreservesCatalogAndDict) {
+  Database db;
+  AttrId a = db.attrs().Intern("A");
+  Value v = db.dict().Intern("hello");
+  Database copy = db.Clone();
+  EXPECT_EQ(copy.attrs().Lookup("A"), a);
+  EXPECT_EQ(copy.dict().Lookup("hello"), v);
+}
+
+}  // namespace
+}  // namespace lsens

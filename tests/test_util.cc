@@ -1,0 +1,147 @@
+#include "test_util.h"
+
+#include <utility>
+
+namespace lsens::testing {
+
+PaperExample MakeFigure1Example() {
+  PaperExample ex;
+  Dictionary& d = ex.db.dict();
+  auto* r1 = ex.db.AddRelation("R1", {"A", "B", "C"});
+  auto* r2 = ex.db.AddRelation("R2", {"A", "B", "D"});
+  auto* r3 = ex.db.AddRelation("R3", {"A", "E"});
+  auto* r4 = ex.db.AddRelation("R4", {"B", "F"});
+  auto v = [&](const char* s) { return d.Intern(s); };
+  r1->AppendRow({v("a1"), v("b1"), v("c1")});
+  r1->AppendRow({v("a1"), v("b2"), v("c1")});
+  r1->AppendRow({v("a2"), v("b1"), v("c1")});
+  r2->AppendRow({v("a1"), v("b1"), v("d1")});
+  r2->AppendRow({v("a2"), v("b2"), v("d2")});
+  r3->AppendRow({v("a1"), v("e1")});
+  r3->AppendRow({v("a2"), v("e1")});
+  r3->AppendRow({v("a2"), v("e2")});
+  r4->AppendRow({v("b1"), v("f1")});
+  r4->AppendRow({v("b2"), v("f1")});
+  r4->AppendRow({v("b2"), v("f2")});
+  ex.query.AddAtom(ex.db, "R1", {"A", "B", "C"});
+  ex.query.AddAtom(ex.db, "R2", {"A", "B", "D"});
+  ex.query.AddAtom(ex.db, "R3", {"A", "E"});
+  ex.query.AddAtom(ex.db, "R4", {"B", "F"});
+  return ex;
+}
+
+PaperExample MakeFigure3Example() {
+  PaperExample ex;
+  Dictionary& d = ex.db.dict();
+  auto* r1 = ex.db.AddRelation("R1", {"A", "B"});
+  auto* r2 = ex.db.AddRelation("R2", {"B", "C"});
+  auto* r3 = ex.db.AddRelation("R3", {"C", "D"});
+  auto* r4 = ex.db.AddRelation("R4", {"D", "E"});
+  auto v = [&](const char* s) { return d.Intern(s); };
+  r1->AppendRow({v("a1"), v("b1")});
+  r1->AppendRow({v("a2"), v("b1")});
+  r2->AppendRow({v("b1"), v("c1")});
+  r2->AppendRow({v("b2"), v("c2")});
+  r3->AppendRow({v("c1"), v("d1")});
+  r3->AppendRow({v("c1"), v("d2")});
+  r4->AppendRow({v("d1"), v("e1")});
+  r4->AppendRow({v("d2"), v("e1")});
+  ex.query.AddAtom(ex.db, "R1", {"A", "B"});
+  ex.query.AddAtom(ex.db, "R2", {"B", "C"});
+  ex.query.AddAtom(ex.db, "R3", {"C", "D"});
+  ex.query.AddAtom(ex.db, "R4", {"D", "E"});
+  return ex;
+}
+
+PaperExample MakeRandomAcyclicInstance(Rng& rng,
+                                       const RandomQuerySpec& spec) {
+  PaperExample ex;
+  const int num_atoms = static_cast<int>(
+      rng.NextInRange(spec.min_atoms, spec.max_atoms));
+
+  // Build the query as a random join tree: atom i > 0 shares a nonempty
+  // subset of a random earlier atom's variables and may add fresh ones.
+  int next_attr = 0;
+  std::vector<std::vector<std::string>> atom_vars;
+  for (int i = 0; i < num_atoms; ++i) {
+    std::vector<std::string> vars;
+    if (i == 0) {
+      int count = static_cast<int>(
+          rng.NextInRange(1, spec.max_attrs_per_atom));
+      for (int c = 0; c < count; ++c) {
+        vars.push_back("x" + std::to_string(next_attr++));
+      }
+    } else {
+      int parent = static_cast<int>(rng.NextInRange(0, i - 1));
+      const auto& pvars = atom_vars[static_cast<size_t>(parent)];
+      // Nonempty random subset of the parent's variables.
+      size_t take = 1 + rng.NextBounded(pvars.size());
+      std::vector<size_t> idx(pvars.size());
+      for (size_t j = 0; j < idx.size(); ++j) idx[j] = j;
+      for (size_t j = 0; j < take; ++j) {
+        size_t pick = j + rng.NextBounded(idx.size() - j);
+        std::swap(idx[j], idx[pick]);
+        vars.push_back(pvars[idx[j]]);
+      }
+      if (spec.allow_exclusive_attrs &&
+          static_cast<int>(vars.size()) < spec.max_attrs_per_atom &&
+          rng.NextDouble() < 0.5) {
+        vars.push_back("x" + std::to_string(next_attr++));
+      }
+    }
+    atom_vars.push_back(std::move(vars));
+  }
+
+  for (int i = 0; i < num_atoms; ++i) {
+    const auto& vars = atom_vars[static_cast<size_t>(i)];
+    std::string name = "R" + std::to_string(i);
+    auto* rel = ex.db.AddRelation(name, vars);
+    int rows = static_cast<int>(rng.NextInRange(0, spec.max_rows));
+    std::vector<Value> row(vars.size());
+    for (int r = 0; r < rows; ++r) {
+      for (auto& cell : row) {
+        cell = static_cast<Value>(rng.NextBounded(
+            static_cast<uint64_t>(spec.domain_size)));
+      }
+      rel->AppendRow(row);
+    }
+    int atom = ex.query.AddAtom(ex.db, name, vars);
+    for (const auto& var : vars) {
+      if (rng.NextDouble() < spec.predicate_probability) {
+        Predicate p;
+        p.var = ex.db.attrs().Lookup(var);
+        int op = static_cast<int>(rng.NextBounded(6));
+        p.op = static_cast<Predicate::Op>(op);
+        p.rhs = static_cast<Value>(
+            rng.NextBounded(static_cast<uint64_t>(spec.domain_size)));
+        ex.query.AddPredicate(atom, p);
+      }
+    }
+  }
+  return ex;
+}
+
+PaperExample MakeRandomTriangleInstance(Rng& rng, int max_rows,
+                                        int domain_size) {
+  PaperExample ex;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<std::string> vars;
+    if (i == 0) vars = {"A", "B"};
+    if (i == 1) vars = {"B", "C"};
+    if (i == 2) vars = {"C", "A"};
+    std::string name = "E" + std::to_string(i);
+    auto* rel = ex.db.AddRelation(name, vars);
+    int rows = static_cast<int>(rng.NextInRange(0, max_rows));
+    for (int r = 0; r < rows; ++r) {
+      Value x = static_cast<Value>(
+          rng.NextBounded(static_cast<uint64_t>(domain_size)));
+      Value y = static_cast<Value>(
+          rng.NextBounded(static_cast<uint64_t>(domain_size)));
+      rel->AppendRow({x, y});
+    }
+    ex.query.AddAtom(ex.db, name, vars);
+  }
+  return ex;
+}
+
+}  // namespace lsens::testing

@@ -1,0 +1,54 @@
+#ifndef LSENS_TESTS_TEST_UTIL_H_
+#define LSENS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/conjunctive_query.h"
+#include "storage/database.h"
+
+namespace lsens::testing {
+
+// Fixture data for the paper's running examples.
+struct PaperExample {
+  Database db;
+  ConjunctiveQuery query;
+};
+
+// Figure 1: R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F); |Q(D)| = 1,
+// LS = 4 with most sensitive tuple R1(a2, b2, c1).
+PaperExample MakeFigure1Example();
+
+// Figure 3 (clean variant): Qpath-4(A..E) :- R1(A,B),R2(B,C),R3(C,D),R4(D,E)
+// with R1 = {(a1,b1),(a2,b1)}, R2 = {(b1,c1),(b2,c2)},
+// R3 = {(c1,d1),(c1,d2)}, R4 = {(d1,e1),(d2,e1)}; |Q(D)| = 4 and the most
+// sensitive tuple is R2(b1, c1) with sensitivity 4.
+PaperExample MakeFigure3Example();
+
+// Random-instance generators for property-based tests. Values are drawn
+// from a small domain so joins collide; duplicate rows are possible (bag
+// semantics must handle them).
+struct RandomQuerySpec {
+  int min_atoms = 2;
+  int max_atoms = 5;
+  int max_attrs_per_atom = 3;
+  int max_rows = 8;
+  int domain_size = 3;
+  double predicate_probability = 0.15;
+  bool allow_exclusive_attrs = true;
+};
+
+// Generates a random acyclic query (built as an explicit join tree: each
+// atom shares a nonempty attribute subset with its parent) plus a random
+// database instance for it.
+PaperExample MakeRandomAcyclicInstance(Rng& rng, const RandomQuerySpec& spec);
+
+// Generates a random instance of the triangle query
+// Q(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)  (cyclic).
+PaperExample MakeRandomTriangleInstance(Rng& rng, int max_rows,
+                                        int domain_size);
+
+}  // namespace lsens::testing
+
+#endif  // LSENS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "exec/eval.h"
+#include "query/join_tree.h"
+#include "sensitivity/tsens.h"
+#include "workload/queries.h"
+#include "workload/social.h"
+#include "workload/tpch.h"
+
+namespace lsens {
+namespace {
+
+TpchOptions SmallTpch() {
+  TpchOptions o;
+  o.scale = 0.0005;
+  return o;
+}
+
+TEST(TpchTest, SizesFollowStandardRatios) {
+  TpchCardinalities c = TpchSizes(1.0);
+  EXPECT_EQ(c.region, 5u);
+  EXPECT_EQ(c.nation, 25u);
+  EXPECT_EQ(c.supplier, 10'000u);
+  EXPECT_EQ(c.customer, 150'000u);
+  EXPECT_EQ(c.orders, 1'500'000u);
+  EXPECT_EQ(c.part, 200'000u);
+  EXPECT_EQ(c.partsupp, 800'000u);
+  EXPECT_EQ(c.lineitem, 6'000'000u);
+  // Everything stays >= 1 at tiny scales.
+  TpchCardinalities tiny = TpchSizes(1e-6);
+  EXPECT_GE(tiny.supplier, 1u);
+  EXPECT_GE(tiny.lineitem, 1u);
+}
+
+TEST(TpchTest, GeneratedSizesMatch) {
+  Database db = MakeTpchDatabase(SmallTpch());
+  TpchCardinalities c = TpchSizes(SmallTpch().scale);
+  EXPECT_EQ(db.Find("Region")->NumRows(), c.region);
+  EXPECT_EQ(db.Find("Nation")->NumRows(), c.nation);
+  EXPECT_EQ(db.Find("Supplier")->NumRows(), c.supplier);
+  EXPECT_EQ(db.Find("Customer")->NumRows(), c.customer);
+  EXPECT_EQ(db.Find("Orders")->NumRows(), c.orders);
+  EXPECT_EQ(db.Find("Part")->NumRows(), c.part);
+  EXPECT_EQ(db.Find("Partsupp")->NumRows(), c.partsupp);
+  EXPECT_LE(db.Find("Lineitem")->NumRows(), c.lineitem);
+  EXPECT_GE(db.Find("Lineitem")->NumRows(), c.lineitem * 9 / 10);
+}
+
+TEST(TpchTest, ForeignKeysAreComplete) {
+  Database db = MakeTpchDatabase(SmallTpch());
+  auto collect = [&](const char* rel, size_t col) {
+    std::set<Value> vals;
+    const Relation* r = db.Find(rel);
+    for (size_t i = 0; i < r->NumRows(); ++i) vals.insert(r->At(i, col));
+    return vals;
+  };
+  std::set<Value> regions = collect("Region", 0);
+  std::set<Value> nations = collect("Nation", 1);
+  std::set<Value> customers = collect("Customer", 1);
+  std::set<Value> orders = collect("Orders", 1);
+  std::set<Value> suppliers = collect("Supplier", 1);
+  std::set<Value> parts = collect("Part", 0);
+
+  const Relation* nation = db.Find("Nation");
+  for (size_t i = 0; i < nation->NumRows(); ++i) {
+    EXPECT_TRUE(regions.count(nation->At(i, 0)));
+  }
+  const Relation* customer = db.Find("Customer");
+  for (size_t i = 0; i < customer->NumRows(); ++i) {
+    EXPECT_TRUE(nations.count(customer->At(i, 0)));
+  }
+  const Relation* ord = db.Find("Orders");
+  for (size_t i = 0; i < ord->NumRows(); ++i) {
+    EXPECT_TRUE(customers.count(ord->At(i, 0)));
+  }
+  std::set<std::pair<Value, Value>> partsupp_pairs;
+  const Relation* ps = db.Find("Partsupp");
+  for (size_t i = 0; i < ps->NumRows(); ++i) {
+    EXPECT_TRUE(suppliers.count(ps->At(i, 0)));
+    EXPECT_TRUE(parts.count(ps->At(i, 1)));
+    partsupp_pairs.insert({ps->At(i, 0), ps->At(i, 1)});
+  }
+  const Relation* li = db.Find("Lineitem");
+  for (size_t i = 0; i < li->NumRows(); ++i) {
+    EXPECT_TRUE(orders.count(li->At(i, 0)));
+    EXPECT_TRUE(partsupp_pairs.count({li->At(i, 1), li->At(i, 2)}));
+  }
+}
+
+TEST(TpchTest, DeterministicAcrossCalls) {
+  Database a = MakeTpchDatabase(SmallTpch());
+  Database b = MakeTpchDatabase(SmallTpch());
+  for (const auto& name : a.relation_names()) {
+    EXPECT_TRUE(a.Find(name)->IdenticalTo(*b.Find(name))) << name;
+  }
+}
+
+TEST(TpchQueriesTest, Q1IsAPathQueryAndCountsLineitems) {
+  Database db = MakeTpchDatabase(SmallTpch());
+  WorkloadQuery q1 = MakeTpchQ1(db);
+  ASSERT_TRUE(q1.query.Validate(db).ok());
+  EXPECT_FALSE(PathOrder(q1.query).empty());
+  // Complete FK chains: every lineitem contributes exactly one output.
+  auto count = CountQuery(q1.query, db);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->ToUint64Saturated(), db.Find("Lineitem")->NumRows());
+}
+
+TEST(TpchQueriesTest, Q2IsAcyclicAndCountsLineitems) {
+  Database db = MakeTpchDatabase(SmallTpch());
+  WorkloadQuery q2 = MakeTpchQ2(db);
+  ASSERT_TRUE(q2.query.Validate(db).ok());
+  EXPECT_TRUE(IsAcyclic(q2.query));
+  EXPECT_TRUE(PathOrder(q2.query).empty());
+  // Each lineitem joins exactly one Partsupp pair, part, and supplier.
+  auto count = CountQuery(q2.query, db);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->ToUint64Saturated(), db.Find("Lineitem")->NumRows());
+}
+
+TEST(TpchQueriesTest, Q3IsCyclicAndMatchesDirectComputation) {
+  Database db = MakeTpchDatabase(SmallTpch());
+  WorkloadQuery q3 = MakeTpchQ3(db);
+  ASSERT_TRUE(q3.query.Validate(db).ok());
+  EXPECT_FALSE(IsAcyclic(q3.query));
+  ASSERT_TRUE(q3.ghd.has_value());
+  EXPECT_EQ(q3.ghd->Width(), 3);
+
+  // Direct computation: count lineitems whose order's customer nation
+  // equals the supplier's nation (times the 4 FK-complete leaf joins = 1).
+  std::map<Value, Value> cust_nation;   // CK -> NK
+  std::map<Value, Value> order_cust;    // OK -> CK
+  std::map<Value, Value> supp_nation;   // SK -> NK
+  const Relation* c = db.Find("Customer");
+  for (size_t i = 0; i < c->NumRows(); ++i) {
+    cust_nation[c->At(i, 1)] = c->At(i, 0);
+  }
+  const Relation* o = db.Find("Orders");
+  for (size_t i = 0; i < o->NumRows(); ++i) {
+    order_cust[o->At(i, 1)] = o->At(i, 0);
+  }
+  const Relation* s = db.Find("Supplier");
+  for (size_t i = 0; i < s->NumRows(); ++i) {
+    supp_nation[s->At(i, 1)] = s->At(i, 0);
+  }
+  uint64_t expected = 0;
+  const Relation* li = db.Find("Lineitem");
+  for (size_t i = 0; i < li->NumRows(); ++i) {
+    Value nk_cust = cust_nation[order_cust[li->At(i, 0)]];
+    Value nk_supp = supp_nation[li->At(i, 1)];
+    expected += (nk_cust == nk_supp);
+  }
+
+  auto count = CountGhd(q3.query, *q3.ghd, db);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->ToUint64Saturated(), expected);
+}
+
+TEST(SocialTest, GeneratedShapeMatchesTarget) {
+  SocialOptions opts;
+  Database db = MakeSocialDatabase(opts);
+  size_t total_edges = 0;
+  for (int t = 1; t <= 4; ++t) {
+    const Relation* r = db.Find("R" + std::to_string(t));
+    ASSERT_NE(r, nullptr);
+    total_edges += r->NumRows();
+    // Bidirected: (x,y) present iff (y,x) present.
+    std::set<std::pair<Value, Value>> edges;
+    for (size_t i = 0; i < r->NumRows(); ++i) {
+      EXPECT_GE(r->At(i, 0), 0);
+      EXPECT_LT(r->At(i, 0), opts.num_nodes);
+      edges.insert({r->At(i, 0), r->At(i, 1)});
+    }
+    for (const auto& [x, y] : edges) {
+      EXPECT_TRUE(edges.count({y, x})) << "missing reverse edge in R" << t;
+    }
+  }
+  // Within 40% of the paper's 6384 directed edges.
+  EXPECT_GT(total_edges, 3800u);
+  EXPECT_LT(total_edges, 9000u);
+  EXPECT_GT(db.Find("RT")->NumRows(), 0u);
+}
+
+TEST(SocialTest, TriangleTableConsistentWithR4) {
+  Database db = MakeSocialDatabase(SocialOptions{});
+  const Relation* r4 = db.Find("R4");
+  std::set<std::pair<Value, Value>> edges;
+  for (size_t i = 0; i < r4->NumRows(); ++i) {
+    edges.insert({r4->At(i, 0), r4->At(i, 1)});
+  }
+  const Relation* rt = db.Find("RT");
+  for (size_t i = 0; i < rt->NumRows(); ++i) {
+    Value x = rt->At(i, 0), y = rt->At(i, 1), z = rt->At(i, 2);
+    EXPECT_TRUE(edges.count({x, y}));
+    EXPECT_TRUE(edges.count({y, z}));
+    EXPECT_TRUE(edges.count({z, x}));
+  }
+}
+
+TEST(SocialTest, Deterministic) {
+  Database a = MakeSocialDatabase(SocialOptions{});
+  Database b = MakeSocialDatabase(SocialOptions{});
+  for (const auto& name : a.relation_names()) {
+    EXPECT_TRUE(a.Find(name)->IdenticalTo(*b.Find(name))) << name;
+  }
+}
+
+TEST(FacebookQueriesTest, AllValidateAndMatchBruteForceOnSmallGraph) {
+  SocialOptions opts;
+  opts.num_nodes = 30;
+  opts.num_circles = 40;
+  opts.target_directed_edges = 300;
+  Database db = MakeSocialDatabase(opts);
+
+  for (auto make : {MakeFacebookTriangle, MakeFacebookPath, MakeFacebookCycle,
+                    MakeFacebookStar}) {
+    WorkloadQuery w = make(db);
+    ASSERT_TRUE(w.query.Validate(db).ok()) << w.name;
+    auto fast = CountQuery(w.query, db, {}, w.ghd_ptr());
+    auto brute = BruteForceCount(w.query, db);
+    ASSERT_TRUE(fast.ok()) << w.name << ": " << fast.status().ToString();
+    ASSERT_TRUE(brute.ok()) << w.name;
+    EXPECT_EQ(*fast, *brute) << w.name;
+  }
+}
+
+TEST(FacebookQueriesTest, StructuralShapes) {
+  Database db = MakeSocialDatabase(SocialOptions{});
+  EXPECT_FALSE(IsAcyclic(MakeFacebookTriangle(db).query));
+  EXPECT_FALSE(PathOrder(MakeFacebookPath(db).query).empty());
+  EXPECT_FALSE(IsAcyclic(MakeFacebookCycle(db).query));
+  EXPECT_TRUE(IsAcyclic(MakeFacebookStar(db).query));
+}
+
+TEST(TpchQueriesTest, StructuralAnalysis) {
+  Database db = MakeTpchDatabase(SmallTpch());
+  WorkloadQuery q1 = MakeTpchQ1(db);
+  auto f1 = BuildJoinForestGYO(q1.query);
+  ASSERT_TRUE(f1.ok());
+  auto a1 = AnalyzeJoinTree(q1.query, *f1);
+  EXPECT_TRUE(a1.path_query);
+  EXPECT_TRUE(a1.doubly_acyclic);
+
+  WorkloadQuery q2 = MakeTpchQ2(db);
+  auto f2 = BuildJoinForestGYO(q2.query);
+  ASSERT_TRUE(f2.ok());
+  auto a2 = AnalyzeJoinTree(q2.query, *f2);
+  EXPECT_FALSE(a2.path_query);  // SK and PK each occur in 3 atoms
+}
+
+TEST(TpchQueriesTest, ScalingIsMonotone) {
+  TpchOptions small;
+  small.scale = 0.0002;
+  TpchOptions larger;
+  larger.scale = 0.0008;
+  Database a = MakeTpchDatabase(small);
+  Database b = MakeTpchDatabase(larger);
+  for (const auto& name : a.relation_names()) {
+    EXPECT_LE(a.Find(name)->NumRows(), b.Find(name)->NumRows()) << name;
+  }
+}
+
+TEST(SocialTest, OptionsControlGraphSize) {
+  SocialOptions small;
+  small.num_nodes = 30;
+  small.num_circles = 20;
+  small.target_directed_edges = 100;
+  Database db = MakeSocialDatabase(small);
+  size_t edges = 0;
+  for (int t = 1; t <= 4; ++t) {
+    edges += db.Find("R" + std::to_string(t))->NumRows();
+  }
+  EXPECT_LT(edges, 400u);
+  for (int t = 1; t <= 4; ++t) {
+    const Relation* r = db.Find("R" + std::to_string(t));
+    for (size_t i = 0; i < r->NumRows(); ++i) {
+      EXPECT_LT(r->At(i, 0), small.num_nodes);
+      EXPECT_LT(r->At(i, 1), small.num_nodes);
+    }
+  }
+}
+
+TEST(WorkloadQueriesTest, AllSevenBuild) {
+  Database tpch = MakeTpchDatabase(SmallTpch());
+  Database social = MakeSocialDatabase(SocialOptions{});
+  auto all = MakeAllWorkloadQueries(tpch, social);
+  ASSERT_EQ(all.size(), 7u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(all[i].query.Validate(tpch).ok()) << all[i].name;
+    EXPECT_GE(all[i].private_atom, 0);
+    EXPECT_GT(all[i].ell, 0u);
+  }
+  for (size_t i = 3; i < 7; ++i) {
+    EXPECT_TRUE(all[i].query.Validate(social).ok()) << all[i].name;
+  }
+}
+
+TEST(WorkloadSensitivityTest, TSensRunsOnAllSevenQueries) {
+  TpchOptions topts;
+  topts.scale = 0.001;
+  Database tpch = MakeTpchDatabase(topts);
+  SocialOptions sopts;
+  sopts.num_nodes = 60;
+  sopts.num_circles = 80;
+  sopts.target_directed_edges = 800;
+  Database social = MakeSocialDatabase(sopts);
+  for (auto& w : MakeAllWorkloadQueries(tpch, social)) {
+    TSensComputeOptions opts;
+    opts.ghd = w.ghd_ptr();
+    opts.skip_atoms = w.skip_atoms;
+    auto result = ComputeLocalSensitivity(w.query, w.name[0] == 'q' &&
+                                                      w.name[1] != '_'
+                                                  ? tpch
+                                                  : social,
+                                          opts);
+    ASSERT_TRUE(result.ok()) << w.name << ": " << result.status().ToString();
+    EXPECT_FALSE(result->local_sensitivity.IsZero()) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace lsens
