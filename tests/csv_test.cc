@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <random>
+#include <string>
 
 #include "storage/csv.h"
 #include "storage/database.h"
@@ -80,7 +82,11 @@ TEST(CsvTest, SaveUnknownRelationFails) {
 }
 
 TEST(CsvTest, FileRoundTrip) {
-  const char* path = "/tmp/lsens_csv_test.csv";
+  // TempDir() honors TEST_TMPDIR; the random suffix keeps concurrent ctest
+  // invocations of this binary from clobbering each other's file.
+  const std::string path_str = ::testing::TempDir() + "lsens_csv_test_" +
+                               std::to_string(std::random_device{}()) + ".csv";
+  const char* path = path_str.c_str();
   {
     Database db;
     ASSERT_TRUE(LoadCsvText(db, "R", "k,v\n1,one\n2,two\n").ok());
