@@ -80,9 +80,10 @@ int main() {
   Database tpch = MakeTpchDatabase(topts);
   Database social = MakeSocialDatabase(SocialOptions{});
 
-  std::printf("%-7s %-10s %-11s | %-8s %-8s %-12s %-8s | %-8s %-8s %-12s %-8s\n",
-              "query", "|Q(D)|", "ell", "TS.err", "TS.bias", "TS.GS",
-              "TS.time", "PS.err", "PS.bias", "PS.GS", "PS.time");
+  std::printf(
+      "%-7s %-10s %-11s | %-8s %-8s %-12s %-8s | %-8s %-8s %-12s %-8s\n",
+      "query", "|Q(D)|", "ell", "TS.err", "TS.bias", "TS.GS", "TS.time",
+      "PS.err", "PS.bias", "PS.GS", "PS.time");
   for (auto& w : MakeAllWorkloadQueries(tpch, social)) {
     Database& db = (w.name.size() == 2) ? tpch : social;  // "q1".."q3" tpch
     std::vector<DpRunResult> tsens_runs;

@@ -40,9 +40,11 @@ inline double Median(std::vector<double> v) {
 
 // Prints a header banner mapping the binary to its paper artifact.
 inline void Banner(const char* artifact, const char* description) {
-  std::printf("==============================================================\n");
+  constexpr char kRule[] =
+      "==============================================================\n";
+  std::printf("%s", kRule);
   std::printf("%s\n%s\n", artifact, description);
-  std::printf("==============================================================\n");
+  std::printf("%s", kRule);
 }
 
 }  // namespace lsens::bench

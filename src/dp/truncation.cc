@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "exec/exec_context.h"
 
 namespace lsens {
 
@@ -29,13 +30,15 @@ std::map<std::vector<Value>, size_t> KeyFrequencies(
 StatusOr<size_t> TruncateBySensitivity(Database& db,
                                        const std::string& relation,
                                        const std::vector<Count>& sensitivities,
-                                       Count threshold) {
+                                       Count threshold, ExecContext* ctx) {
   Relation* rel = db.Find(relation);
   if (rel == nullptr) return Status::NotFound("relation " + relation);
   if (sensitivities.size() != rel->NumRows()) {
     return Status::InvalidArgument(
         "sensitivity vector does not match relation row count");
   }
+  OpTimer op(ResolveExecContext(ctx), "dp.truncate_by_sensitivity",
+             rel->NumRows());
   // Rebuild without the over-sensitive rows (cheaper and order-stable
   // compared to repeated swap-removes, which would desynchronize indices).
   Relation kept(rel->name(), rel->column_names());
@@ -49,12 +52,13 @@ StatusOr<size_t> TruncateBySensitivity(Database& db,
     }
   }
   *rel = std::move(kept);
+  op.set_rows_out(rel->NumRows());
   return removed;
 }
 
 StatusOr<size_t> TruncateByFrequency(Database& db, const std::string& relation,
                                      const std::vector<int>& key_cols,
-                                     uint64_t threshold) {
+                                     uint64_t threshold, ExecContext* ctx) {
   Relation* rel = db.Find(relation);
   if (rel == nullptr) return Status::NotFound("relation " + relation);
   for (int c : key_cols) {
@@ -62,6 +66,8 @@ StatusOr<size_t> TruncateByFrequency(Database& db, const std::string& relation,
       return Status::InvalidArgument("key column out of range");
     }
   }
+  OpTimer op(ResolveExecContext(ctx), "dp.truncate_by_frequency",
+             rel->NumRows());
   auto freq = KeyFrequencies(*rel, key_cols);
   Relation kept(rel->name(), rel->column_names());
   kept.Reserve(rel->NumRows());
@@ -78,6 +84,7 @@ StatusOr<size_t> TruncateByFrequency(Database& db, const std::string& relation,
     }
   }
   *rel = std::move(kept);
+  op.set_rows_out(rel->NumRows());
   return removed;
 }
 

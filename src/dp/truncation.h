@@ -10,6 +10,8 @@
 
 namespace lsens {
 
+class ExecContext;
+
 // TSens truncation (Definition 6.4): removes every row of `relation` whose
 // tuple sensitivity exceeds `threshold`. `sensitivities` is aligned with
 // the relation's current row order (as from TupleSensitivities). Returns
@@ -17,7 +19,8 @@ namespace lsens {
 StatusOr<size_t> TruncateBySensitivity(Database& db,
                                        const std::string& relation,
                                        const std::vector<Count>& sensitivities,
-                                       Count threshold);
+                                       Count threshold,
+                                       ExecContext* ctx = nullptr);
 
 // PrivSQL-style truncation: removes every row of `relation` whose value
 // combination on `key_cols` occurs more than `threshold` times (all rows of
@@ -25,7 +28,8 @@ StatusOr<size_t> TruncateBySensitivity(Database& db,
 // Returns the number of rows removed.
 StatusOr<size_t> TruncateByFrequency(Database& db, const std::string& relation,
                                      const std::vector<int>& key_cols,
-                                     uint64_t threshold);
+                                     uint64_t threshold,
+                                     ExecContext* ctx = nullptr);
 
 // Histogram helpers for frequency-threshold learning, for f in [0, max_f]:
 //   RowsAboveFrequency[f] = number of rows whose key frequency exceeds f;
@@ -33,14 +37,12 @@ StatusOr<size_t> TruncateByFrequency(Database& db, const std::string& relation,
 // The keys variant is what the PrivSQL-style learner queries: deleting one
 // upstream private tuple cascades into at most (product of upstream caps)
 // keys, which is the SVT noise scale the paper calls out.
-StatusOr<std::vector<size_t>> RowsAboveFrequency(const Database& db,
-                                                 const std::string& relation,
-                                                 const std::vector<int>& key_cols,
-                                                 uint64_t max_f);
-StatusOr<std::vector<size_t>> KeysAboveFrequency(const Database& db,
-                                                 const std::string& relation,
-                                                 const std::vector<int>& key_cols,
-                                                 uint64_t max_f);
+StatusOr<std::vector<size_t>> RowsAboveFrequency(
+    const Database& db, const std::string& relation,
+    const std::vector<int>& key_cols, uint64_t max_f);
+StatusOr<std::vector<size_t>> KeysAboveFrequency(
+    const Database& db, const std::string& relation,
+    const std::vector<int>& key_cols, uint64_t max_f);
 
 }  // namespace lsens
 

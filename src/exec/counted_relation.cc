@@ -4,6 +4,9 @@
 #include <numeric>
 #include <utility>
 
+#include "exec/exec_context.h"
+#include "exec/row_sort.h"
+
 namespace lsens {
 
 int CompareRows(std::span<const Value> a, std::span<const Value> b) {
@@ -72,47 +75,56 @@ void CountedRelation::AppendRow(std::span<const Value> row, Count count) {
   normalized_ = false;
 }
 
-void CountedRelation::Normalize() {
+void CountedRelation::Normalize(ExecContext* ctx_in) {
   const size_t n = NumRows();
   const size_t k = arity();
   if (n == 0) {
     normalized_ = true;
     return;
   }
-  std::vector<uint32_t> perm(n);
-  std::iota(perm.begin(), perm.end(), 0);
-  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
-    return CompareRows(Row(a), Row(b)) < 0;
-  });
-  std::vector<Value> new_data;
-  new_data.reserve(data_.size());
-  std::vector<Count> new_counts;
-  new_counts.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    std::span<const Value> row = Row(perm[i]);
-    if (!new_counts.empty() &&
-        CompareRows({new_data.data() + (new_counts.size() - 1) * k, k}, row) ==
-            0) {
-      new_counts.back() += counts_[perm[i]];
-    } else {
-      new_data.insert(new_data.end(), row.begin(), row.end());
-      new_counts.push_back(counts_[perm[i]]);
+  ExecContext& ctx = ResolveExecContext(ctx_in);
+  OpTimer op(ctx, "normalize", n);
+
+  std::vector<int>& cols = ctx.col_buf();
+  cols.resize(k);
+  std::iota(cols.begin(), cols.end(), 0);
+
+  std::vector<uint32_t>& perm = ctx.norm_perm();
+  if (SortRowsBy(*this, cols, perm, ctx)) {
+    // Already sorted: one verification pass; strictly increasing rows with
+    // non-zero counts need no rebuild at all.
+    bool clean = true;
+    for (size_t i = 0; i < n && clean; ++i) {
+      clean = !counts_[i].IsZero() &&
+              (i == 0 || CompareRowsAt(Row(i - 1), Row(i), cols) != 0);
+    }
+    if (clean) {
+      normalized_ = true;
+      op.set_rows_out(n);
+      return;
     }
   }
-  // Drop zero-count rows (possible when callers append explicit zeros).
-  std::vector<Value> final_data;
-  final_data.reserve(new_data.size());
-  std::vector<Count> final_counts;
-  final_counts.reserve(new_counts.size());
-  for (size_t i = 0; i < new_counts.size(); ++i) {
-    if (new_counts[i].IsZero()) continue;
-    final_data.insert(final_data.end(), new_data.begin() + i * k,
-                      new_data.begin() + (i + 1) * k);
-    final_counts.push_back(new_counts[i]);
-  }
-  data_ = std::move(final_data);
-  counts_ = std::move(final_counts);
+
+  // Rebuild into the arena buffers, then swap storage: the displaced
+  // capacity returns to the arena for the next Normalize.
+  std::vector<Value>& vbuf = ctx.value_buf();
+  std::vector<Count>& cbuf = ctx.count_buf();
+  vbuf.clear();
+  cbuf.clear();
+  vbuf.reserve(data_.size());
+  cbuf.reserve(n);
+  ForEachSortedGroup(*this, cols, perm, [&](size_t begin, size_t end) {
+    Count total = Count::Zero();
+    for (size_t i = begin; i < end; ++i) total += counts_[perm[i]];
+    if (total.IsZero()) return;  // drop explicit zero-count rows
+    std::span<const Value> row = Row(perm[begin]);
+    vbuf.insert(vbuf.end(), row.begin(), row.end());
+    cbuf.push_back(total);
+  });
+  data_.swap(vbuf);
+  counts_.swap(cbuf);
   normalized_ = true;
+  op.set_rows_out(NumRows());
 }
 
 Count CountedRelation::TotalCount() const {
@@ -160,9 +172,11 @@ Count CountedRelation::Lookup(std::span<const Value> row) const {
   return default_count_;
 }
 
-void CountedRelation::TruncateTopK(size_t k) {
+void CountedRelation::TruncateTopK(size_t k, ExecContext* ctx_in) {
   LSENS_CHECK(k > 0);
   if (NumRows() <= k) return;
+  ExecContext& ctx = ResolveExecContext(ctx_in);
+  OpTimer op(ctx, "truncate.top_k", NumRows());
   // Order row indices by count descending (ties by row order for
   // determinism), keep the first k, remember the k-th count as default.
   std::vector<uint32_t> perm(NumRows());
@@ -186,7 +200,8 @@ void CountedRelation::TruncateTopK(size_t k) {
   counts_ = std::move(new_counts);
   default_count_ = std::max(default_count_, kth);
   // Rows stayed in sorted order if they were; Normalize() keeps invariants.
-  if (!normalized_) Normalize();
+  if (!normalized_) Normalize(&ctx);
+  op.set_rows_out(NumRows());
 }
 
 void CountedRelation::Filter(
@@ -220,25 +235,45 @@ int CountedRelation::ColumnOf(AttrId attr) const {
 }
 
 CountedRelation GroupBySum(const CountedRelation& in,
-                           const AttributeSet& group_attrs) {
+                           const AttributeSet& group_attrs,
+                           ExecContext* ctx_in) {
   LSENS_CHECK_MSG(!in.has_default(),
                   "GroupBySum undefined for a defaulted (top-k) relation");
   LSENS_CHECK(IsSubset(group_attrs, in.attrs()));
+  ExecContext& ctx = ResolveExecContext(ctx_in);
+  OpTimer op(ctx, "group_by_sum", in.NumRows());
+
+  CountedRelation out(group_attrs);
+  if (in.NumRows() == 0) return out;
+  if (group_attrs.empty()) {
+    // γ over nothing: a single arity-0 row carrying the total (dropped when
+    // zero, matching the normalized-relation invariant).
+    const Count total = in.TotalCount();
+    if (!total.IsZero()) out.counts_.push_back(total);
+    op.set_rows_out(out.NumRows());
+    return out;
+  }
+
   std::vector<int> cols;
   cols.reserve(group_attrs.size());
   for (AttrId a : group_attrs) cols.push_back(in.ColumnOf(a));
 
-  CountedRelation out(group_attrs);
-  out.Reserve(in.NumRows());
-  std::vector<Value> key(group_attrs.size());
-  for (size_t i = 0; i < in.NumRows(); ++i) {
-    std::span<const Value> row = in.Row(i);
-    for (size_t j = 0; j < cols.size(); ++j) {
-      key[j] = row[static_cast<size_t>(cols[j])];
-    }
-    out.AppendRow(key, in.CountAt(i));
-  }
-  out.Normalize();
+  // One sorted permutation over the input (shared machinery with
+  // Normalize; a sort is skipped when the group columns are a prefix of an
+  // already-normalized relation), groups emitted pre-merged and in order —
+  // the output is normalized by construction.
+  std::vector<uint32_t>& perm = ctx.norm_perm();
+  SortRowsBy(in, cols, perm, ctx);
+  ForEachSortedGroup(in, cols, perm, [&](size_t begin, size_t end) {
+    Count total = Count::Zero();
+    for (size_t i = begin; i < end; ++i) total += in.counts_[perm[i]];
+    if (total.IsZero()) return;
+    std::span<const Value> row = in.Row(perm[begin]);
+    for (int c : cols) out.data_.push_back(row[static_cast<size_t>(c)]);
+    out.counts_.push_back(total);
+  });
+  out.normalized_ = true;
+  op.set_rows_out(out.NumRows());
   return out;
 }
 

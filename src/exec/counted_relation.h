@@ -14,6 +14,8 @@
 
 namespace lsens {
 
+class ExecContext;
+
 // A relation annotated with the paper's `cnt` multiplicity column: rows are
 // tuples over a sorted AttributeSet, each carrying a Count. This is the
 // representation all sensitivity machinery works on — the r⋈ operator
@@ -64,7 +66,9 @@ class CountedRelation {
   }
 
   // Sorts rows, merges duplicates (summing counts), drops zero counts.
-  void Normalize();
+  // Already-sorted inputs are detected and rebuilt in one pass (or not at
+  // all). Scratch comes from `ctx` (the thread-local default when null).
+  void Normalize(ExecContext* ctx = nullptr);
   bool normalized() const { return normalized_; }
 
   // Σ over explicit rows (requires no default).
@@ -82,7 +86,7 @@ class CountedRelation {
 
   // §5.4 top-k approximation: keeps the k highest-count rows and records the
   // k-th largest count as default_count. No-op if NumRows() <= k.
-  void TruncateTopK(size_t k);
+  void TruncateTopK(size_t k, ExecContext* ctx = nullptr);
 
   // Drops rows for which `keep` returns false. Preserves normalization.
   void Filter(const std::function<bool(std::span<const Value>)>& keep);
@@ -94,6 +98,9 @@ class CountedRelation {
   int ColumnOf(AttrId attr) const;
 
  private:
+  friend CountedRelation GroupBySum(const CountedRelation&,
+                                    const AttributeSet&, ExecContext*);
+
   AttributeSet attrs_;
   std::vector<Value> data_;   // flat row-major, arity() stride
   std::vector<Count> counts_;
@@ -105,9 +112,12 @@ class CountedRelation {
 int CompareRows(std::span<const Value> a, std::span<const Value> b);
 
 // γ_{group_attrs} with sum over cnt (the paper's group-by). `group_attrs`
-// must be a subset of in.attrs(); input must not carry a default.
+// must be a subset of in.attrs(); input must not carry a default. Runs on
+// the same sort/merge machinery as Normalize (row_sort.h): one sorted
+// permutation over the input, groups emitted pre-normalized.
 CountedRelation GroupBySum(const CountedRelation& in,
-                           const AttributeSet& group_attrs);
+                           const AttributeSet& group_attrs,
+                           ExecContext* ctx = nullptr);
 
 }  // namespace lsens
 

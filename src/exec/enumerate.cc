@@ -1,66 +1,42 @@
 #include "exec/enumerate.h"
 
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
-#include "common/rng.h"
+#include "exec/hash_group_table.h"
 #include "exec/join.h"
 #include "query/join_tree.h"
 
 namespace lsens {
 
-namespace {
-
-uint64_t HashRowCols(std::span<const Value> row, const std::vector<int>& cols) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (int c : cols) {
-    h = Mix64(h ^ static_cast<uint64_t>(row[static_cast<size_t>(c)]));
-  }
-  return h;
-}
-
-}  // namespace
-
-CountedRelation Semijoin(const CountedRelation& a, const CountedRelation& b) {
+CountedRelation Semijoin(const CountedRelation& a, const CountedRelation& b,
+                         ExecContext* ctx_in) {
   AttributeSet key = Intersect(a.attrs(), b.attrs());
   if (key.empty()) {
     if (b.NumRows() > 0) return a;
     return CountedRelation(a.attrs());
   }
+  ExecContext& ctx = ResolveExecContext(ctx_in);
+  OpTimer op(ctx, "semijoin", a.NumRows() + b.NumRows());
+  op.set_build_rows(b.NumRows());
   std::vector<int> a_cols;
   std::vector<int> b_cols;
   for (AttrId attr : key) {
     a_cols.push_back(a.ColumnOf(attr));
     b_cols.push_back(b.ColumnOf(attr));
   }
-  // Hash probe; 64-bit hashes are verified against real key equality via a
-  // bucket of row indices (collisions must not drop/keep wrong rows).
-  std::unordered_multimap<uint64_t, uint32_t> table;
-  table.reserve(b.NumRows());
-  for (size_t i = 0; i < b.NumRows(); ++i) {
-    table.emplace(HashRowCols(b.Row(i), b_cols), static_cast<uint32_t>(i));
-  }
+  // Membership probes against the flat group table (runs are key-verified,
+  // so collisions can never drop or keep wrong rows).
+  FlatGroupTable& table = ctx.group_table();
+  table.Build(b, b_cols);
   CountedRelation out(a.attrs());
   out.Reserve(a.NumRows());
   for (size_t i = 0; i < a.NumRows(); ++i) {
     std::span<const Value> row = a.Row(i);
-    auto [lo, hi] = table.equal_range(HashRowCols(row, a_cols));
-    bool match = false;
-    for (auto it = lo; it != hi && !match; ++it) {
-      std::span<const Value> brow = b.Row(it->second);
-      match = true;
-      for (size_t j = 0; j < key.size(); ++j) {
-        if (row[static_cast<size_t>(a_cols[j])] !=
-            brow[static_cast<size_t>(b_cols[j])]) {
-          match = false;
-          break;
-        }
-      }
-    }
-    if (match) out.AppendRow(row, a.CountAt(i));
+    if (!table.Probe(row, a_cols).empty()) out.AppendRow(row, a.CountAt(i));
   }
-  out.Normalize();
+  out.Normalize(&ctx);
+  op.set_rows_out(out.NumRows());
   return out;
 }
 
@@ -98,7 +74,7 @@ StatusOr<CountedRelation> EnumerateJoin(const ConjunctiveQuery& q,
       for (int child : tree.Children(bag)) {
         bag_rel[static_cast<size_t>(bag)] = Semijoin(
             bag_rel[static_cast<size_t>(bag)],
-            bag_rel[static_cast<size_t>(child)]);
+            bag_rel[static_cast<size_t>(child)], options.ctx);
       }
     }
     // Top-down semijoin reduction.
@@ -107,7 +83,7 @@ StatusOr<CountedRelation> EnumerateJoin(const ConjunctiveQuery& q,
       if (parent == -1) continue;
       bag_rel[static_cast<size_t>(bag)] =
           Semijoin(bag_rel[static_cast<size_t>(bag)],
-                   bag_rel[static_cast<size_t>(parent)]);
+                   bag_rel[static_cast<size_t>(parent)], options.ctx);
     }
     // Join reduced bags, children into parents; every intermediate is
     // bounded by the final output of this component.

@@ -2,6 +2,7 @@
 #define LSENS_EXEC_ENUMERATE_H_
 
 #include "common/status.h"
+#include "exec/exec_context.h"
 #include "exec/fold_join.h"
 #include "query/ghd.h"
 #include "storage/database.h"
@@ -32,8 +33,10 @@ StatusOr<CountedRelation> EnumerateQuery(const ConjunctiveQuery& q,
 
 // Semijoin a ⋉ b: rows of `a` whose shared-attribute projection has a match
 // in `b`, counts untouched. An empty intersection keeps `a` iff `b` is
-// non-empty.
-CountedRelation Semijoin(const CountedRelation& a, const CountedRelation& b);
+// non-empty. The membership filter runs over the flat hash-group table
+// owned by `ctx` (thread-local default when null).
+CountedRelation Semijoin(const CountedRelation& a, const CountedRelation& b,
+                         ExecContext* ctx = nullptr);
 
 }  // namespace lsens
 

@@ -52,7 +52,8 @@ StatusOr<Count> CountGhd(const ConjunctiveQuery& q, const Ghd& ghd,
       } else {
         AttributeSet link = Intersect(
             spec.vars, ghd.bags[static_cast<size_t>(parent)].vars);
-        botjoin[static_cast<size_t>(bag)] = GroupBySum(folded, link);
+        botjoin[static_cast<size_t>(bag)] =
+            GroupBySum(folded, link, options.ctx);
       }
     }
     total *= tree_count;

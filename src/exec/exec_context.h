@@ -1,0 +1,125 @@
+#ifndef LSENS_EXEC_EXEC_CONTEXT_H_
+#define LSENS_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/count.h"
+#include "common/timer.h"
+#include "exec/hash_group_table.h"
+#include "exec/row_sort.h"
+#include "storage/value.h"
+
+namespace lsens {
+
+// Aggregate counters for one operator kind ("join.hash", "normalize", ...).
+// Wall times of nested operators overlap: a join's time includes the time
+// of the Normalize it runs on its output, which is also reported under
+// "normalize".
+struct OperatorStats {
+  std::string name;
+  uint64_t calls = 0;
+  uint64_t rows_in = 0;     // Σ explicit input rows over all calls
+  uint64_t rows_out = 0;    // Σ output rows over all calls
+  uint64_t build_rows = 0;  // Σ hash-build-side rows (join/semijoin only)
+  double wall_seconds = 0.0;
+};
+
+// Execution state threaded through the exec and sensitivity layers: owns
+// the reusable arenas (sort permutations, row/key scratch, the flat hash
+// group table, normalize rebuild buffers) so hot operators allocate O(1)
+// times per context instead of per invocation, collects per-operator stats,
+// and carries execution knobs.
+//
+// Callers pass a context through JoinOptions::ctx (and thus TSensOptions::
+// join.ctx); operators that receive none fall back to a thread-local
+// default so arena reuse still happens. A context is single-threaded:
+// share one per worker, never across threads.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // --- Knobs -------------------------------------------------------------
+  // When false, Record() is a no-op (arenas still reused).
+  bool collect_stats = true;
+
+  // --- Arenas ------------------------------------------------------------
+  // Distinct slots so concurrently-live uses inside one operator never
+  // alias (e.g. sort-merge join holds both side permutations while the
+  // final Normalize uses its own).
+  std::vector<uint32_t>& perm_a() { return perm_a_; }
+  std::vector<uint32_t>& perm_b() { return perm_b_; }
+  std::vector<uint32_t>& norm_perm() { return norm_perm_; }
+  std::vector<Value>& value_buf() { return value_buf_; }
+  std::vector<Count>& count_buf() { return count_buf_; }
+  std::vector<Value>& row_buf() { return row_buf_; }
+  std::vector<Value>& key_buf() { return key_buf_; }
+  std::vector<int>& col_buf() { return col_buf_; }
+  std::vector<SortKeyRef>& sort_keys() { return sort_keys_; }
+  std::vector<SortKeyRef>& sort_keys_tmp() { return sort_keys_tmp_; }
+  FlatGroupTable& group_table() { return group_table_; }
+
+  // --- Stats -------------------------------------------------------------
+  void Record(std::string_view op, uint64_t rows_in, uint64_t rows_out,
+              uint64_t build_rows, double wall_seconds);
+  const std::vector<OperatorStats>& stats() const { return stats_; }
+  bool has_stats() const { return !stats_.empty(); }
+  void ResetStats() { stats_.clear(); }
+  // Stats for one operator, or nullptr if it never ran.
+  const OperatorStats* FindStats(std::string_view op) const;
+
+ private:
+  std::vector<uint32_t> perm_a_;
+  std::vector<uint32_t> perm_b_;
+  std::vector<uint32_t> norm_perm_;
+  std::vector<Value> value_buf_;
+  std::vector<Count> count_buf_;
+  std::vector<Value> row_buf_;
+  std::vector<Value> key_buf_;
+  std::vector<int> col_buf_;
+  std::vector<SortKeyRef> sort_keys_;
+  std::vector<SortKeyRef> sort_keys_tmp_;
+  FlatGroupTable group_table_;
+  std::vector<OperatorStats> stats_;  // small: one entry per operator kind
+};
+
+// The thread-local fallback context used when callers pass none.
+ExecContext& DefaultExecContext();
+
+// `ctx` if non-null, the thread-local default otherwise.
+inline ExecContext& ResolveExecContext(ExecContext* ctx) {
+  return ctx != nullptr ? *ctx : DefaultExecContext();
+}
+
+// RAII stats scope: times its lifetime and records one call on the
+// resolved context at destruction.
+class OpTimer {
+ public:
+  OpTimer(ExecContext& ctx, std::string_view op, uint64_t rows_in)
+      : ctx_(ctx), op_(op), rows_in_(rows_in) {}
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+  ~OpTimer() {
+    ctx_.Record(op_, rows_in_, rows_out_, build_rows_,
+                timer_.ElapsedSeconds());
+  }
+
+  void set_rows_out(uint64_t n) { rows_out_ = n; }
+  void set_build_rows(uint64_t n) { build_rows_ = n; }
+
+ private:
+  ExecContext& ctx_;
+  std::string_view op_;
+  uint64_t rows_in_;
+  uint64_t rows_out_ = 0;
+  uint64_t build_rows_ = 0;
+  WallTimer timer_;
+};
+
+}  // namespace lsens
+
+#endif  // LSENS_EXEC_EXEC_CONTEXT_H_

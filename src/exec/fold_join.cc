@@ -4,12 +4,17 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "exec/exec_context.h"
 
 namespace lsens {
 
 CountedRelation FoldJoin(std::vector<const CountedRelation*> pieces,
                          const JoinOptions& options) {
   if (pieces.empty()) return CountedRelation::Unit();
+  ExecContext& ctx = ResolveExecContext(options.ctx);
+  uint64_t rows_in = 0;
+  for (const CountedRelation* piece : pieces) rows_in += piece->NumRows();
+  OpTimer op(ctx, "fold_join", rows_in);
 
   std::vector<const CountedRelation*> remaining = pieces;
   // Start from the smallest non-defaulted piece; if everything is
@@ -45,7 +50,7 @@ CountedRelation FoldJoin(std::vector<const CountedRelation*> pieces,
       bool shares = Intersects(piece->attrs(), acc.attrs());
       size_t rows = piece->has_default()
                         ? acc.NumRows()  // covering join keeps acc's rows
-                        : EstimateJoinRows(acc, *piece);
+                        : EstimateJoinRows(acc, *piece, options.ctx);
       if (best == SIZE_MAX || (shares && !best_shares) ||
           (shares == best_shares && rows < best_rows)) {
         best = i;
@@ -67,6 +72,7 @@ CountedRelation FoldJoin(std::vector<const CountedRelation*> pieces,
     acc = NaturalJoin(acc, *remaining[best], options);
     remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
   }
+  op.set_rows_out(acc.NumRows());
   return acc;
 }
 

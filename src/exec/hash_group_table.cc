@@ -1,0 +1,99 @@
+#include "exec/hash_group_table.h"
+
+#include <bit>
+
+#include "common/rng.h"
+
+namespace lsens {
+
+uint64_t HashRowKey(std::span<const Value> row, std::span<const int> cols) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    h = Mix64(h ^ static_cast<uint64_t>(row[static_cast<size_t>(c)]));
+  }
+  return h;
+}
+
+namespace {
+
+bool KeysMatch(std::span<const Value> ra, std::span<const int> ca,
+               std::span<const Value> rb, std::span<const int> cb) {
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (ra[static_cast<size_t>(ca[i])] != rb[static_cast<size_t>(cb[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void FlatGroupTable::Build(const CountedRelation& rel,
+                           std::span<const int> key_cols) {
+  const size_t n = rel.NumRows();
+  LSENS_CHECK_MSG(n < UINT32_MAX, "FlatGroupTable is limited to 2^32-1 rows");
+  rel_ = &rel;
+  key_cols_.assign(key_cols.begin(), key_cols.end());
+
+  // Load factor <= 0.5: bucket count is the next power of two >= 2n.
+  const size_t cap = std::bit_ceil(std::max<size_t>(2 * n, 8));
+  mask_ = cap - 1;
+  slots_.assign(cap, Slot{});
+  row_slot_.resize(n);
+  rows_.resize(n);
+  num_groups_ = 0;
+
+  // Pass 1: count group sizes, linear-probing each row's key.
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const Value> row = rel.Row(i);
+    const uint64_t h = HashRowKey(row, key_cols_);
+    size_t idx = h & mask_;
+    for (;;) {
+      Slot& slot = slots_[idx];
+      if (slot.size == 0) {
+        slot.hash = h;
+        slot.rep = static_cast<uint32_t>(i);
+        slot.size = 1;
+        ++num_groups_;
+        break;
+      }
+      if (slot.hash == h &&
+          KeysMatch(rel.Row(slot.rep), key_cols_, row, key_cols_)) {
+        ++slot.size;
+        break;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    row_slot_[i] = static_cast<uint32_t>(idx);
+  }
+
+  // Assign each group a contiguous run in rows_, then scatter.
+  uint32_t offset = 0;
+  for (Slot& slot : slots_) {
+    if (slot.size == 0) continue;
+    slot.begin = offset;
+    slot.cursor = offset;
+    offset += slot.size;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Slot& slot = slots_[row_slot_[i]];
+    rows_[slot.cursor++] = static_cast<uint32_t>(i);
+  }
+}
+
+std::span<const uint32_t> FlatGroupTable::Probe(
+    std::span<const Value> row, std::span<const int> probe_cols) const {
+  const uint64_t h = HashRowKey(row, probe_cols);
+  size_t idx = h & mask_;
+  for (;;) {
+    const Slot& slot = slots_[idx];
+    if (slot.size == 0) return {};
+    if (slot.hash == h &&
+        KeysMatch(rel_->Row(slot.rep), key_cols_, row, probe_cols)) {
+      return {rows_.data() + slot.begin, slot.size};
+    }
+    idx = (idx + 1) & mask_;
+  }
+}
+
+}  // namespace lsens

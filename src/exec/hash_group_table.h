@@ -1,0 +1,65 @@
+#ifndef LSENS_EXEC_HASH_GROUP_TABLE_H_
+#define LSENS_EXEC_HASH_GROUP_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/counted_relation.h"
+
+namespace lsens {
+
+// Mixes the values of `cols` of one row into a 64-bit key hash.
+uint64_t HashRowKey(std::span<const Value> row, std::span<const int> cols);
+
+// Flat open-addressing group table over the key columns of a
+// CountedRelation: the hash-join build side, semijoin filter, and join-size
+// estimator all sit on top of it.
+//
+// Storage is two contiguous arrays — a power-of-two bucket array (linear
+// probing on 64-bit mixed key hashes, verified against the group's
+// representative row so collisions can never produce wrong matches) and a
+// row-index array holding each group's rows as one contiguous run — so a
+// build does no per-node allocation and probes touch at most two cache
+// lines for the common single-group hit. Both arrays keep their capacity
+// across Build() calls, which is why ExecContext owns one as an arena.
+//
+// The table aliases `rel` (no row data is copied); it is valid only while
+// the relation outlives it and is wholly replaced by the next Build().
+class FlatGroupTable {
+ public:
+  FlatGroupTable() = default;
+
+  // Indexes `rel` by the given key columns.
+  void Build(const CountedRelation& rel, std::span<const int> key_cols);
+
+  // The run of build-side row indices whose key equals `row`'s values on
+  // `probe_cols` (column routing of the probing relation; must have the
+  // same arity as the build key). Empty span when no group matches.
+  std::span<const uint32_t> Probe(std::span<const Value> row,
+                                  std::span<const int> probe_cols) const;
+
+  size_t num_groups() const { return num_groups_; }
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t rep = 0;     // representative row, for key verification
+    uint32_t size = 0;    // 0 = empty slot
+    uint32_t begin = 0;   // offset of the group's run in rows_
+    uint32_t cursor = 0;  // scatter cursor during Build()
+  };
+
+  std::vector<Slot> slots_;      // bucket array, power-of-two sized
+  std::vector<uint32_t> rows_;   // group-run row-index array
+  std::vector<uint32_t> row_slot_;  // build scratch: row -> slot index
+  const CountedRelation* rel_ = nullptr;
+  std::vector<int> key_cols_;
+  uint64_t mask_ = 0;
+  size_t num_groups_ = 0;
+};
+
+}  // namespace lsens
+
+#endif  // LSENS_EXEC_HASH_GROUP_TABLE_H_

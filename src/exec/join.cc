@@ -1,15 +1,20 @@
 #include "exec/join.h"
 
 #include <algorithm>
-#include <numeric>
-#include <unordered_map>
+#include <cmath>
 #include <vector>
 
-#include "common/rng.h"
+#include "exec/exec_context.h"
+#include "exec/hash_group_table.h"
+#include "exec/row_sort.h"
 
 namespace lsens {
 
 namespace {
+
+// Join outputs at least this large are reserved incrementally (vector
+// doubling) instead of up front, bounding a single pre-allocation.
+constexpr size_t kMaxReserveRows = size_t{1} << 22;
 
 // Precomputed column routing for one join: where each output column comes
 // from, and where the key columns live on each side.
@@ -41,132 +46,121 @@ JoinLayout MakeLayout(const CountedRelation& a, const CountedRelation& b) {
   return layout;
 }
 
-uint64_t HashKey(std::span<const Value> row, const std::vector<int>& cols) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (int c : cols) {
-    h = Mix64(h ^ static_cast<uint64_t>(row[static_cast<size_t>(c)]));
-  }
-  return h;
-}
-
-bool KeysEqual(std::span<const Value> ra, const std::vector<int>& ca,
-               std::span<const Value> rb, const std::vector<int>& cb) {
-  for (size_t i = 0; i < ca.size(); ++i) {
-    if (ra[static_cast<size_t>(ca[i])] != rb[static_cast<size_t>(cb[i])]) {
-      return false;
-    }
-  }
-  return true;
-}
-
+// `scratch` must be pre-sized to layout.out_src.size().
 void EmitRow(const JoinLayout& layout, std::span<const Value> ra,
              std::span<const Value> rb, Count count, CountedRelation* out,
-             std::vector<Value>* scratch) {
-  scratch->resize(layout.out_src.size());
+             std::vector<Value>& scratch) {
   for (size_t i = 0; i < layout.out_src.size(); ++i) {
     const auto& [side, col] = layout.out_src[i];
-    (*scratch)[i] = (side == 0) ? ra[static_cast<size_t>(col)]
-                                : rb[static_cast<size_t>(col)];
+    scratch[i] = (side == 0) ? ra[static_cast<size_t>(col)]
+                             : rb[static_cast<size_t>(col)];
   }
-  out->AppendRow(*scratch, count);
+  out->AppendRow(scratch, count);
 }
 
 // Join where `b` carries a default and b.attrs ⊆ a.attrs: every a-row
-// survives, multiplied by its b-match count or b's default.
+// survives, multiplied by its b-match count or b's default. The match
+// lookup runs over a flat hash-group table on `b` instead of a per-row
+// binary search.
 CountedRelation JoinWithDefault(const CountedRelation& a,
-                                const CountedRelation& b) {
+                                const CountedRelation& b, ExecContext& ctx) {
   LSENS_CHECK(IsSubset(b.attrs(), a.attrs()));
+  OpTimer op(ctx, "join.default", a.NumRows() + b.NumRows());
+  op.set_build_rows(b.NumRows());
   JoinLayout layout = MakeLayout(a, b);  // out_attrs == a.attrs()
+
+  FlatGroupTable& table = ctx.group_table();
+  std::vector<int>& b_all_cols = ctx.col_buf();
+  b_all_cols.resize(b.arity());
+  for (size_t c = 0; c < b.arity(); ++c) b_all_cols[c] = static_cast<int>(c);
+  table.Build(b, b_all_cols);
+
   CountedRelation out(layout.out_attrs);
   out.Reserve(a.NumRows());
-  std::vector<Value> key(b.attrs().size());
   for (size_t i = 0; i < a.NumRows(); ++i) {
     std::span<const Value> row = a.Row(i);
-    for (size_t j = 0; j < layout.a_key_cols.size(); ++j) {
-      key[j] = row[static_cast<size_t>(layout.a_key_cols[j])];
+    Count multiplier = Count::Zero();
+    std::span<const uint32_t> run = table.Probe(row, layout.a_key_cols);
+    if (run.empty()) {
+      multiplier = b.default_count();
+    } else {
+      for (uint32_t r : run) multiplier += b.CountAt(r);
     }
-    Count multiplier = b.Lookup(key);  // falls back to b's default
     Count c = a.CountAt(i) * multiplier;
     if (!c.IsZero()) out.AppendRow(row, c);
   }
-  out.Normalize();
+  out.Normalize(&ctx);
+  op.set_rows_out(out.NumRows());
   return out;
 }
 
 CountedRelation CrossProduct(const CountedRelation& a,
-                             const CountedRelation& b) {
+                             const CountedRelation& b, ExecContext& ctx) {
+  OpTimer op(ctx, "join.cross", a.NumRows() + b.NumRows());
   JoinLayout layout = MakeLayout(a, b);
   CountedRelation out(layout.out_attrs);
-  out.Reserve(a.NumRows() * b.NumRows());
-  std::vector<Value> scratch;
-  for (size_t i = 0; i < a.NumRows(); ++i) {
-    for (size_t j = 0; j < b.NumRows(); ++j) {
+  const size_t na = a.NumRows();
+  const size_t nb = b.NumRows();
+  // na * nb can wrap size_t before Reserve ever sees it; a product that
+  // large cannot be materialized anyway, so fail loudly instead.
+  LSENS_CHECK_MSG(nb == 0 || na <= SIZE_MAX / nb,
+                  "cross product row count overflows size_t");
+  out.Reserve(std::min(na * nb, kMaxReserveRows));
+  std::vector<Value>& scratch = ctx.row_buf();
+  scratch.resize(layout.out_src.size());
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
       EmitRow(layout, a.Row(i), b.Row(j), a.CountAt(i) * b.CountAt(j), &out,
-              &scratch);
+              scratch);
     }
   }
-  out.Normalize();
+  out.Normalize(&ctx);
+  op.set_rows_out(out.NumRows());
   return out;
 }
 
+// Hash join over `table`, already built on the smaller side by the
+// estimate pass in NaturalJoin (whose wall time is reported as
+// "estimate_join_rows"; this timer covers probe/emit/normalize).
+// `est_rows` is the exact pre-merge output size.
 CountedRelation HashJoin(const CountedRelation& a, const CountedRelation& b,
-                         const JoinLayout& layout) {
-  // Build on the smaller side.
-  const bool build_a = a.NumRows() < b.NumRows();
+                         const JoinLayout& layout, const FlatGroupTable& table,
+                         bool build_a, size_t est_rows, ExecContext& ctx) {
   const CountedRelation& build = build_a ? a : b;
   const CountedRelation& probe = build_a ? b : a;
-  const std::vector<int>& build_cols =
-      build_a ? layout.a_key_cols : layout.b_key_cols;
   const std::vector<int>& probe_cols =
       build_a ? layout.b_key_cols : layout.a_key_cols;
 
-  std::unordered_multimap<uint64_t, uint32_t> table;
-  table.reserve(build.NumRows());
-  for (size_t i = 0; i < build.NumRows(); ++i) {
-    table.emplace(HashKey(build.Row(i), build_cols),
-                  static_cast<uint32_t>(i));
-  }
-
+  OpTimer op(ctx, "join.hash", a.NumRows() + b.NumRows());
+  op.set_build_rows(build.NumRows());
   CountedRelation out(layout.out_attrs);
-  std::vector<Value> scratch;
+  out.Reserve(std::min(est_rows, kMaxReserveRows));
+  std::vector<Value>& scratch = ctx.row_buf();
+  scratch.resize(layout.out_src.size());
   for (size_t j = 0; j < probe.NumRows(); ++j) {
     std::span<const Value> pr = probe.Row(j);
-    uint64_t h = HashKey(pr, probe_cols);
-    auto [lo, hi] = table.equal_range(h);
-    for (auto it = lo; it != hi; ++it) {
-      std::span<const Value> br = build.Row(it->second);
-      if (!KeysEqual(br, build_cols, pr, probe_cols)) continue;
+    for (uint32_t i : table.Probe(pr, probe_cols)) {
+      std::span<const Value> br = build.Row(i);
       std::span<const Value> ra = build_a ? br : pr;
       std::span<const Value> rb = build_a ? pr : br;
-      EmitRow(layout, ra, rb,
-              build.CountAt(it->second) * probe.CountAt(j), &out, &scratch);
+      EmitRow(layout, ra, rb, build.CountAt(i) * probe.CountAt(j), &out,
+              scratch);
     }
   }
-  out.Normalize();
+  out.Normalize(&ctx);
+  op.set_rows_out(out.NumRows());
   return out;
 }
 
 CountedRelation SortMergeJoin(const CountedRelation& a,
                               const CountedRelation& b,
-                              const JoinLayout& layout) {
-  auto sorted_perm = [](const CountedRelation& r,
-                        const std::vector<int>& cols) {
-    std::vector<uint32_t> perm(r.NumRows());
-    std::iota(perm.begin(), perm.end(), 0);
-    std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
-      std::span<const Value> rx = r.Row(x);
-      std::span<const Value> ry = r.Row(y);
-      for (int c : cols) {
-        Value vx = rx[static_cast<size_t>(c)];
-        Value vy = ry[static_cast<size_t>(c)];
-        if (vx != vy) return vx < vy;
-      }
-      return false;
-    });
-    return perm;
-  };
-  std::vector<uint32_t> pa = sorted_perm(a, layout.a_key_cols);
-  std::vector<uint32_t> pb = sorted_perm(b, layout.b_key_cols);
+                              const JoinLayout& layout, size_t est_rows,
+                              ExecContext& ctx) {
+  OpTimer op(ctx, "join.sort_merge", a.NumRows() + b.NumRows());
+  std::vector<uint32_t>& pa = ctx.perm_a();
+  std::vector<uint32_t>& pb = ctx.perm_b();
+  SortRowsBy(a, layout.a_key_cols, pa, ctx);
+  SortRowsBy(b, layout.b_key_cols, pb, ctx);
 
   auto key_cmp = [&](std::span<const Value> ra, std::span<const Value> rb) {
     for (size_t i = 0; i < layout.a_key_cols.size(); ++i) {
@@ -179,7 +173,9 @@ CountedRelation SortMergeJoin(const CountedRelation& a,
   };
 
   CountedRelation out(layout.out_attrs);
-  std::vector<Value> scratch;
+  if (est_rows != SIZE_MAX) out.Reserve(std::min(est_rows, kMaxReserveRows));
+  std::vector<Value>& scratch = ctx.row_buf();
+  scratch.resize(layout.out_src.size());
   size_t i = 0;
   size_t j = 0;
   while (i < pa.size() && j < pb.size()) {
@@ -199,21 +195,63 @@ CountedRelation SortMergeJoin(const CountedRelation& a,
       for (size_t x = i; x < i_end; ++x) {
         for (size_t y = j; y < j_end; ++y) {
           EmitRow(layout, a.Row(pa[x]), b.Row(pb[y]),
-                  a.CountAt(pa[x]) * b.CountAt(pb[y]), &out, &scratch);
+                  a.CountAt(pa[x]) * b.CountAt(pb[y]), &out, scratch);
         }
       }
       i = i_end;
       j = j_end;
     }
   }
-  out.Normalize();
+  out.Normalize(&ctx);
+  op.set_rows_out(out.NumRows());
   return out;
+}
+
+// Sums the probe-side run sizes against `table` — the exact pre-merge join
+// cardinality in O(|probe|).
+size_t ProbeTotalRows(const FlatGroupTable& table, const CountedRelation& probe,
+                      std::span<const int> probe_cols) {
+  size_t total = 0;
+  for (size_t j = 0; j < probe.NumRows(); ++j) {
+    total += table.Probe(probe.Row(j), probe_cols).size();
+  }
+  return total;
+}
+
+// The kAuto cost model, in per-row-touch units. Hash pays a build on the
+// smaller side and a hashed probe per larger-side row; sort-merge pays
+// n·log n per side *unless* that side is already ordered on the key (then
+// its scan is free), and emits from contiguous runs, which is slightly
+// cheaper per output row than dereferencing scattered build rows.
+JoinAlgorithm PickJoinAlgorithm(size_t na, size_t nb, size_t est_rows,
+                                bool sorted_a, bool sorted_b) {
+  constexpr double kHashBuild = 3.0;
+  constexpr double kHashProbe = 1.5;
+  constexpr double kMergeScan = 1.0;
+  constexpr double kSortPerCmp = 1.25;
+  constexpr double kEmitHash = 1.25;
+  constexpr double kEmitMerge = 1.0;
+  auto sort_cost = [](size_t n, bool sorted) {
+    if (sorted || n < 2) return 0.0;
+    const double nd = static_cast<double>(n);
+    return kSortPerCmp * nd * std::log2(nd);
+  };
+  const double est = est_rows == SIZE_MAX ? 0.0 : static_cast<double>(est_rows);
+  const double scan = static_cast<double>(na + nb);
+  const double merge_cost = sort_cost(na, sorted_a) + sort_cost(nb, sorted_b) +
+                            kMergeScan * scan + kEmitMerge * est;
+  const double hash_cost = kHashBuild * static_cast<double>(std::min(na, nb)) +
+                           kHashProbe * static_cast<double>(std::max(na, nb)) +
+                           kEmitHash * est;
+  return merge_cost < hash_cost ? JoinAlgorithm::kSortMerge
+                                : JoinAlgorithm::kHash;
 }
 
 }  // namespace
 
 CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
                             const JoinOptions& options) {
+  ExecContext& ctx = ResolveExecContext(options.ctx);
   // Defaulted sides: route through the covering-join path.
   if (a.has_default() || b.has_default()) {
     LSENS_CHECK_MSG(!(a.has_default() && b.has_default()),
@@ -221,52 +259,87 @@ CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
     if (b.has_default()) {
       LSENS_CHECK_MSG(IsSubset(b.attrs(), a.attrs()),
                       "defaulted side must be attribute-covered by the other");
-      return JoinWithDefault(a, b);
+      return JoinWithDefault(a, b, ctx);
     }
     LSENS_CHECK_MSG(IsSubset(a.attrs(), b.attrs()),
                     "defaulted side must be attribute-covered by the other");
-    return JoinWithDefault(b, a);
+    return JoinWithDefault(b, a, ctx);
   }
 
   JoinLayout layout = MakeLayout(a, b);
-  if (layout.key.empty()) return CrossProduct(a, b);
-  switch (options.algorithm) {
-    case JoinAlgorithm::kSortMerge:
-      return SortMergeJoin(a, b, layout);
-    case JoinAlgorithm::kAuto:
-    case JoinAlgorithm::kHash:
-      return HashJoin(a, b, layout);
+  if (layout.key.empty()) return CrossProduct(a, b, ctx);
+  const bool build_a = a.NumRows() < b.NumRows();
+  if (options.algorithm == JoinAlgorithm::kSortMerge) {
+    return SortMergeJoin(a, b, layout, /*est_rows=*/SIZE_MAX, ctx);
   }
-  return HashJoin(a, b, layout);
+
+  // kHash and kAuto share the estimate pass (recorded as
+  // "estimate_join_rows", the same work the public estimator does): it
+  // builds the flat group table the hash kernel then reuses, and its
+  // exact output count sizes the Reserve — which beats the reallocation
+  // doublings it replaces on expanding joins, measurably so in
+  // bench_join_micro. kAuto additionally feeds it to the cost model; when
+  // sort-merge wins, the table build is the price of the estimate.
+  const CountedRelation& build = build_a ? a : b;
+  const CountedRelation& probe = build_a ? b : a;
+  const std::vector<int>& build_cols =
+      build_a ? layout.a_key_cols : layout.b_key_cols;
+  const std::vector<int>& probe_cols =
+      build_a ? layout.b_key_cols : layout.a_key_cols;
+  FlatGroupTable& table = ctx.group_table();
+  size_t est_rows = 0;
+  {
+    OpTimer op(ctx, "estimate_join_rows", a.NumRows() + b.NumRows());
+    op.set_build_rows(build.NumRows());
+    table.Build(build, build_cols);
+    est_rows = ProbeTotalRows(table, probe, probe_cols);
+    op.set_rows_out(est_rows);
+  }
+
+  if (options.algorithm == JoinAlgorithm::kAuto) {
+    const JoinAlgorithm picked = PickJoinAlgorithm(
+        a.NumRows(), b.NumRows(), est_rows,
+        RowsSortedBy(a, layout.a_key_cols), RowsSortedBy(b, layout.b_key_cols));
+    if (picked == JoinAlgorithm::kSortMerge) {
+      return SortMergeJoin(a, b, layout, est_rows, ctx);
+    }
+  }
+  return HashJoin(a, b, layout, table, build_a, est_rows, ctx);
 }
 
-size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b) {
+JoinAlgorithm ChooseJoinAlgorithm(const CountedRelation& a,
+                                  const CountedRelation& b, ExecContext* ctx) {
+  if (a.has_default() || b.has_default()) return JoinAlgorithm::kHash;
+  JoinLayout layout = MakeLayout(a, b);
+  if (layout.key.empty()) return JoinAlgorithm::kHash;
+  return PickJoinAlgorithm(a.NumRows(), b.NumRows(),
+                           EstimateJoinRows(a, b, ctx),
+                           RowsSortedBy(a, layout.a_key_cols),
+                           RowsSortedBy(b, layout.b_key_cols));
+}
+
+size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b,
+                        ExecContext* ctx_in) {
   AttributeSet key = Intersect(a.attrs(), b.attrs());
   if (key.empty()) return a.NumRows() * b.NumRows();
+  ExecContext& ctx = ResolveExecContext(ctx_in);
+  OpTimer op(ctx, "estimate_join_rows", a.NumRows() + b.NumRows());
   std::vector<int> a_cols;
   std::vector<int> b_cols;
   for (AttrId attr : key) {
     a_cols.push_back(a.ColumnOf(attr));
     b_cols.push_back(b.ColumnOf(attr));
   }
-  // Count key multiplicities on the smaller side, probe with the other.
+  // Group the smaller side in the flat table, probe with the other. Runs
+  // are key-verified, so the count is exact.
   const bool build_a = a.NumRows() < b.NumRows();
   const CountedRelation& build = build_a ? a : b;
   const CountedRelation& probe = build_a ? b : a;
-  const std::vector<int>& build_cols = build_a ? a_cols : b_cols;
-  const std::vector<int>& probe_cols = build_a ? b_cols : a_cols;
-  // Hash -> row count. 64-bit hashes; collisions only make the *estimate*
-  // slightly off, never correctness, so no key verification here.
-  std::unordered_map<uint64_t, size_t> freq;
-  freq.reserve(build.NumRows());
-  for (size_t i = 0; i < build.NumRows(); ++i) {
-    ++freq[HashKey(build.Row(i), build_cols)];
-  }
-  size_t total = 0;
-  for (size_t j = 0; j < probe.NumRows(); ++j) {
-    auto it = freq.find(HashKey(probe.Row(j), probe_cols));
-    if (it != freq.end()) total += it->second;
-  }
+  FlatGroupTable& table = ctx.group_table();
+  op.set_build_rows(build.NumRows());
+  table.Build(build, build_a ? a_cols : b_cols);
+  const size_t total = ProbeTotalRows(table, probe, build_a ? b_cols : a_cols);
+  op.set_rows_out(total);
   return total;
 }
 

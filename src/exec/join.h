@@ -5,13 +5,22 @@
 
 namespace lsens {
 
-// Natural-join algorithm selection. kAuto = hash join (sort-merge is kept
-// for cross-checking and because the paper describes its algorithms with
-// sort-merge joins; both produce identical normalized outputs).
+class ExecContext;
+
+// Natural-join algorithm selection. kAuto runs the cost-based picker
+// (ChooseJoinAlgorithm): it weighs hash build/probe against sort-merge,
+// crediting sides that are already ordered on the join key (a sorted merge
+// needs no sort at all) and consulting the exact output size from the
+// estimator. kHash / kSortMerge force one kernel; both produce identical
+// normalized outputs (the paper describes its algorithms with sort-merge
+// joins, so that kernel is also the cross-check oracle).
 enum class JoinAlgorithm { kAuto, kHash, kSortMerge };
 
 struct JoinOptions {
   JoinAlgorithm algorithm = JoinAlgorithm::kAuto;
+  // Execution context supplying scratch arenas and collecting operator
+  // stats. Null = the thread-local default context.
+  ExecContext* ctx = nullptr;
 };
 
 // The paper's r⋈ operator: natural join on the shared attributes with
@@ -26,10 +35,23 @@ struct JoinOptions {
 CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
                             const JoinOptions& options = {});
 
+// The algorithm kAuto would run for NaturalJoin(a, b): a cost model over
+// the input sizes, key-order of each side (RowsSortedBy), and the exact
+// join cardinality from EstimateJoinRows. Exposed for tests and explain
+// output. Joins that never reach the hash/sort-merge decision — defaulted
+// sides and empty join keys — report kHash (their dedicated paths ignore
+// the picker).
+JoinAlgorithm ChooseJoinAlgorithm(const CountedRelation& a,
+                                  const CountedRelation& b,
+                                  ExecContext* ctx = nullptr);
+
 // Exact number of result rows NaturalJoin(a, b) would produce, computed in
-// O(|a| + |b|) with a hash of key cardinalities. Used by FoldJoin's greedy
-// join-order heuristic.
-size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b);
+// O(|a| + |b|) with a flat hash-group table on the smaller side (key
+// verification included, so the count is exact even under hash
+// collisions). Used by FoldJoin's greedy join-order heuristic and the
+// cost-based picker.
+size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b,
+                        ExecContext* ctx = nullptr);
 
 }  // namespace lsens
 

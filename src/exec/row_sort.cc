@@ -1,0 +1,131 @@
+#include "exec/row_sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exec/exec_context.h"
+
+namespace lsens {
+
+namespace {
+
+// Order-preserving map from int64 to uint64 (flips the sign bit).
+inline uint64_t OrderedBits(Value v) {
+  return static_cast<uint64_t>(v) ^ (uint64_t{1} << 63);
+}
+
+// Stable LSD radix sort of `keys` by .key, one counting pass per byte that
+// actually varies across the input (real-world key domains are narrow, so
+// this is typically 2-4 passes instead of 16). `tmp` is the ping-pong
+// buffer; both vectors may end up swapped, which is fine — they are arena
+// slots of the same context.
+void RadixSortKeys(std::vector<SortKeyRef>& keys, std::vector<SortKeyRef>& tmp,
+                   unsigned __int128 varying) {
+  tmp.resize(keys.size());
+  for (int b = 0; b < 16; ++b) {
+    const int shift = 8 * b;
+    if (((varying >> shift) & 0xff) == 0) continue;
+    size_t count[256] = {};
+    for (const SortKeyRef& k : keys) {
+      ++count[static_cast<size_t>((k.key >> shift) & 0xff)];
+    }
+    size_t pos[256];
+    size_t run = 0;
+    for (int i = 0; i < 256; ++i) {
+      pos[i] = run;
+      run += count[i];
+    }
+    for (const SortKeyRef& k : keys) {
+      tmp[pos[static_cast<size_t>((k.key >> shift) & 0xff)]++] = k;
+    }
+    keys.swap(tmp);
+  }
+}
+
+}  // namespace
+
+bool RowsSortedBy(const CountedRelation& r, std::span<const int> cols) {
+  for (size_t i = 1; i < r.NumRows(); ++i) {
+    if (CompareRowsAt(r.Row(i - 1), r.Row(i), cols) > 0) return false;
+  }
+  return true;
+}
+
+bool SortRowsBy(const CountedRelation& r, std::span<const int> cols,
+                std::vector<uint32_t>& perm, ExecContext& ctx) {
+  const size_t n = r.NumRows();
+  perm.resize(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (cols.empty() || RowsSortedBy(r, cols)) return true;
+
+  // The first two key columns ride inline in a 128-bit key (sign-flipped
+  // so unsigned comparison preserves int64 order); row data is only
+  // touched again when a wider key ties on both.
+  std::vector<SortKeyRef>& keys = ctx.sort_keys();
+  keys.resize(n);
+  const int c0 = cols[0];
+  const int c1 = cols.size() > 1 ? cols[1] : c0;
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const Value> row = r.Row(i);
+    const uint64_t hi = OrderedBits(row[static_cast<size_t>(c0)]);
+    const uint64_t lo = cols.size() > 1
+                            ? OrderedBits(row[static_cast<size_t>(c1)])
+                            : uint64_t{0};
+    keys[i].key = (static_cast<unsigned __int128>(hi) << 64) | lo;
+    keys[i].idx = static_cast<uint32_t>(i);
+  }
+
+  // Which key bytes vary decides between radix (narrow domains: a few
+  // linear passes) and introsort (wide domains or tiny inputs).
+  unsigned __int128 varying = 0;
+  for (const SortKeyRef& k : keys) varying |= k.key ^ keys[0].key;
+  int varying_bytes = 0;
+  for (int b = 0; b < 16; ++b) {
+    if ((varying >> (8 * b)) & 0xff) ++varying_bytes;
+  }
+  const bool use_radix = n >= 256 && varying_bytes <= 10;
+  std::span<const int> rest =
+      cols.size() > 2 ? cols.subspan(2) : std::span<const int>{};
+
+  if (use_radix) {
+    RadixSortKeys(keys, ctx.sort_keys_tmp(), varying);
+    if (!rest.empty()) {
+      // Stable radix ordered ties by row index; re-sort each equal-key run
+      // by the remaining columns.
+      size_t begin = 0;
+      while (begin < n) {
+        size_t end = begin + 1;
+        while (end < n && keys[end].key == keys[begin].key) ++end;
+        if (end - begin > 1) {
+          std::sort(keys.begin() + static_cast<ptrdiff_t>(begin),
+                    keys.begin() + static_cast<ptrdiff_t>(end),
+                    [&](const SortKeyRef& x, const SortKeyRef& y) {
+                      const int cmp =
+                          CompareRowsAt(r.Row(x.idx), r.Row(y.idx), rest);
+                      if (cmp != 0) return cmp < 0;
+                      return x.idx < y.idx;
+                    });
+        }
+        begin = end;
+      }
+    }
+  } else if (rest.empty()) {
+    std::sort(keys.begin(), keys.end(),
+              [](const SortKeyRef& x, const SortKeyRef& y) {
+                if (x.key != y.key) return x.key < y.key;
+                return x.idx < y.idx;
+              });
+  } else {
+    std::sort(keys.begin(), keys.end(),
+              [&](const SortKeyRef& x, const SortKeyRef& y) {
+                if (x.key != y.key) return x.key < y.key;
+                const int cmp = CompareRowsAt(r.Row(x.idx), r.Row(y.idx), rest);
+                if (cmp != 0) return cmp < 0;
+                return x.idx < y.idx;
+              });
+  }
+  for (size_t i = 0; i < n; ++i) perm[i] = keys[i].idx;
+  return false;
+}
+
+}  // namespace lsens

@@ -1,6 +1,10 @@
 #include "query/explain.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <functional>
+
+#include "exec/exec_context.h"
 
 namespace lsens {
 
@@ -98,6 +102,37 @@ std::string ExplainQuery(const ConjunctiveQuery& q,
   }
   out += RenderGhdTree(q, attrs, *use);
   out += "algorithm: TSensOverGhd (§5.4 GHD extension)\n";
+  return out;
+}
+
+std::string RenderExecStats(const ExecContext& ctx) {
+  if (ctx.stats().empty()) return "operator stats: (none collected)\n";
+  // Stable presentation: heaviest operators first.
+  std::vector<const OperatorStats*> rows;
+  rows.reserve(ctx.stats().size());
+  for (const OperatorStats& s : ctx.stats()) rows.push_back(&s);
+  std::sort(rows.begin(), rows.end(),
+            [](const OperatorStats* a, const OperatorStats* b) {
+              if (a->wall_seconds != b->wall_seconds) {
+                return a->wall_seconds > b->wall_seconds;
+              }
+              return a->name < b->name;
+            });
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-26s %10s %12s %12s %12s %12s\n",
+                "operator", "calls", "rows_in", "rows_out", "build_rows",
+                "wall_ms");
+  std::string out = line;
+  for (const OperatorStats* s : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-26s %10llu %12llu %12llu %12llu %12.3f\n",
+                  s->name.c_str(), static_cast<unsigned long long>(s->calls),
+                  static_cast<unsigned long long>(s->rows_in),
+                  static_cast<unsigned long long>(s->rows_out),
+                  static_cast<unsigned long long>(s->build_rows),
+                  s->wall_seconds * 1e3);
+    out += line;
+  }
   return out;
 }
 

@@ -10,6 +10,8 @@
 
 namespace lsens {
 
+class ExecContext;
+
 // Human-readable report of how a query will be processed: its datalog form,
 // acyclicity, the join forest or GHD (ASCII tree with link attributes), the
 // Theorem 5.1 complexity parameters (max degree, doubly-acyclic, path), and
@@ -22,6 +24,15 @@ std::string ExplainQuery(const ConjunctiveQuery& q,
 // Just the ASCII tree for a decomposition.
 std::string RenderGhdTree(const ConjunctiveQuery& q,
                           const AttributeCatalog& attrs, const Ghd& ghd);
+
+// The execution profile collected in `ctx` (exec/exec_context.h), one
+// aligned row per operator (calls, rows in/out, hash-build rows, wall
+// milliseconds). Run a query or TSens pass with TSensOptions::join.ctx /
+// JoinOptions::ctx pointing at a context, then print this. Wall times of
+// nested operators overlap (a join's time includes its output Normalize).
+// This is the one place the query layer reads exec state — reporting only,
+// kept header-light via the forward declaration above.
+std::string RenderExecStats(const ExecContext& ctx);
 
 }  // namespace lsens
 

@@ -196,7 +196,9 @@ bool RunGYO(const std::vector<AttributeSet>& edges,
     root_of[static_cast<size_t>(i)] = r;
   }
   std::map<int, std::vector<int>> by_root;
-  for (int i = 0; i < m; ++i) by_root[root_of[static_cast<size_t>(i)]].push_back(i);
+  for (int i = 0; i < m; ++i) {
+    by_root[root_of[static_cast<size_t>(i)]].push_back(i);
+  }
 
   components_out->clear();
   for (auto& [root, members] : by_root) {

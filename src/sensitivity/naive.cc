@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/eval.h"
+#include "exec/exec_context.h"
 
 namespace lsens {
 
@@ -73,6 +74,9 @@ StatusOr<NaiveResult> NaiveLocalSensitivity(const ConjunctiveQuery& q,
                                             Database& db,
                                             const NaiveOptions& options) {
   LSENS_RETURN_IF_ERROR(q.ValidateForSensitivity(db));
+  // rows_out doubles as the number of neighboring databases evaluated.
+  OpTimer op(ResolveExecContext(options.join.ctx), "naive.local_sensitivity",
+             db.TotalRows());
   auto base_or = Eval(q, db, options);
   if (!base_or.ok()) return base_or.status();
   const Count base = *base_or;
@@ -136,7 +140,9 @@ StatusOr<NaiveResult> NaiveLocalSensitivity(const ConjunctiveQuery& q,
     std::vector<size_t> idx(rel->arity(), 0);
     std::vector<Value> candidate(rel->arity());
     for (;;) {
-      for (size_t c = 0; c < rel->arity(); ++c) candidate[c] = domains[c][idx[c]];
+      for (size_t c = 0; c < rel->arity(); ++c) {
+        candidate[c] = domains[c][idx[c]];
+      }
       rel->AppendRow(candidate);
       auto count_or = Eval(q, db, options);
       rel->SwapRemoveRow(rel->NumRows() - 1);
@@ -153,6 +159,7 @@ StatusOr<NaiveResult> NaiveLocalSensitivity(const ConjunctiveQuery& q,
       if (c == rel->arity()) break;
     }
   }
+  op.set_rows_out(result.candidates_evaluated);
   return result;
 }
 

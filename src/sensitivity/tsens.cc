@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "exec/exec_context.h"
 #include "query/join_tree.h"
 
 namespace lsens {
@@ -11,6 +12,10 @@ StatusOr<SensitivityResult> ComputeLocalSensitivity(
     const ConjunctiveQuery& q, const Database& db,
     const TSensComputeOptions& options) {
   LSENS_RETURN_IF_ERROR(q.ValidateForSensitivity(db));
+  // Times the facade end-to-end (dispatch included) so the stats report
+  // shows total sensitivity wall time next to the per-operator rows.
+  OpTimer op(ResolveExecContext(options.join.ctx), "tsens.compute",
+             db.TotalRows());
 
   if (options.ghd != nullptr) {
     return TSensOverGhd(q, *options.ghd, db, options);

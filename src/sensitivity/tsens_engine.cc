@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/eval.h"
+#include "exec/exec_context.h"
 
 namespace lsens {
 
@@ -64,6 +65,7 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
                                          const Ghd& ghd, const Database& db,
                                          const TSensOptions& options) {
   LSENS_RETURN_IF_ERROR(q.ValidateForSensitivity(db));
+  ExecContext& ctx = ResolveExecContext(options.join.ctx);
   const int num_atoms = q.num_atoms();
   const size_t num_bags = ghd.bags.size();
 
@@ -102,7 +104,7 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
   auto maybe_truncate = [&](const CountedRelation& full) {
     CountedRelation t = full;
     if (options.top_k > 0 && t.NumRows() > options.top_k) {
-      t.TruncateTopK(options.top_k);
+      t.TruncateTopK(options.top_k, &ctx);
       truncation_applied = true;
     }
     return t;
@@ -114,7 +116,9 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
     for (int bag : tree.PostOrder()) {
       const GhdBag& spec = ghd.bags[static_cast<size_t>(bag)];
       std::vector<const CountedRelation*> pieces;
-      for (int a : spec.atom_indices) pieces.push_back(&s[static_cast<size_t>(a)]);
+      for (int a : spec.atom_indices) {
+        pieces.push_back(&s[static_cast<size_t>(a)]);
+      }
       for (int c : tree.Children(bag)) {
         pieces.push_back(&*bot_use[static_cast<size_t>(c)]);
       }
@@ -125,7 +129,7 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       } else {
         AttributeSet link = Intersect(
             spec.vars, ghd.bags[static_cast<size_t>(parent)].vars);
-        bot_full[static_cast<size_t>(bag)] = GroupBySum(folded, link);
+        bot_full[static_cast<size_t>(bag)] = GroupBySum(folded, link, &ctx);
         bot_use[static_cast<size_t>(bag)] =
             maybe_truncate(*bot_full[static_cast<size_t>(bag)]);
       }
@@ -137,7 +141,9 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       const GhdBag& spec = ghd.bags[static_cast<size_t>(bag)];
       const GhdBag& pspec = ghd.bags[static_cast<size_t>(p)];
       std::vector<const CountedRelation*> pieces;
-      for (int a : pspec.atom_indices) pieces.push_back(&s[static_cast<size_t>(a)]);
+      for (int a : pspec.atom_indices) {
+        pieces.push_back(&s[static_cast<size_t>(a)]);
+      }
       if (tree.Parent(p) != -1) {
         pieces.push_back(&*top_use[static_cast<size_t>(p)]);
       }
@@ -146,7 +152,7 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       }
       CountedRelation folded = FoldJoin(std::move(pieces), options.join);
       AttributeSet link = Intersect(spec.vars, pspec.vars);
-      top_full[static_cast<size_t>(bag)] = GroupBySum(folded, link);
+      top_full[static_cast<size_t>(bag)] = GroupBySum(folded, link, &ctx);
       top_use[static_cast<size_t>(bag)] =
           maybe_truncate(*top_full[static_cast<size_t>(bag)]);
     }
@@ -207,7 +213,7 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       AttributeSet group = Intersect(out.table_attrs, folded.attrs());
       CountedRelation table = (group == folded.attrs())
                                   ? std::move(folded)
-                                  : GroupBySum(folded, group);
+                                  : GroupBySum(folded, group, &ctx);
       ApplyPredicates(q.atom(a), &table);
       max_product *= table.MaxCount();
       comp_tables.push_back(std::move(table));
@@ -242,15 +248,16 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       // attribute-disjoint, so FoldJoin emits pure cross products).
       std::vector<const CountedRelation*> comp_ptrs;
       for (const auto& ct : comp_tables) comp_ptrs.push_back(&ct);
-      CountedRelation table = comp_tables.empty()
-                                  ? CountedRelation::Unit()
-                                  : FoldJoin(std::move(comp_ptrs), options.join);
+      CountedRelation table =
+          comp_tables.empty() ? CountedRelation::Unit()
+                              : FoldJoin(std::move(comp_ptrs), options.join);
       // FoldJoin rejects all-defaulted inputs; top-k combined with
       // keep_tables is not supported (exact tables are the point).
       table.ScaleCounts(scale);
       if (table.attrs() != out.table_attrs) {
         // Components may be scalars (empty attrs); regroup to be safe.
-        table = GroupBySum(table, Intersect(out.table_attrs, table.attrs()));
+        table = GroupBySum(table, Intersect(out.table_attrs, table.attrs()),
+                           &ctx);
       }
       out.table = std::move(table);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "exec/exec_context.h"
 #include "exec/fold_join.h"
 
 namespace lsens {
@@ -51,10 +52,11 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
     s.push_back(CountedRelation::FromAtom(**rel, atom, keep));
   }
 
+  ExecContext& ctx = ResolveExecContext(options.join.ctx);
   bool truncation_applied = false;
   auto maybe_truncate = [&](CountedRelation* r) {
     if (options.top_k > 0 && r->NumRows() > options.top_k) {
-      r->TruncateTopK(options.top_k);
+      r->TruncateTopK(options.top_k, &ctx);
       truncation_applied = true;
     }
   };
@@ -67,10 +69,10 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
   for (size_t i = 1; i < m; ++i) {
     AttributeSet group{link[i - 1]};
     CountedRelation j =
-        (i == 1) ? GroupBySum(s[0], group)
+        (i == 1) ? GroupBySum(s[0], group, &ctx)
                  : GroupBySum(NaturalJoin(s[i - 1], topjoin[i - 1],
                                           options.join),
-                              group);
+                              group, &ctx);
     maybe_truncate(&j);
     topjoin.push_back(std::move(j));
   }
@@ -82,9 +84,9 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
     AttributeSet group{link[i - 1]};
     CountedRelation k =
         (i == m - 1)
-            ? GroupBySum(s[m - 1], group)
+            ? GroupBySum(s[m - 1], group, &ctx)
             : GroupBySum(NaturalJoin(s[i], botjoin[i + 1], options.join),
-                         group);
+                         group, &ctx);
     maybe_truncate(&k);
     botjoin[i] = std::move(k);
   }

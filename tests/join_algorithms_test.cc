@@ -1,0 +1,313 @@
+// Differential property suite for the vectorized join core: every join
+// algorithm (flat-table hash, sort-merge, and the filtered-cross-product
+// oracle) must produce identical normalized outputs on randomized inputs,
+// the kAuto cost-based picker must make pinned choices on skewed/sorted
+// inputs, and ExecContext must collect operator stats end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/exec_context.h"
+#include "exec/join.h"
+#include "exec/row_sort.h"
+#include "query/explain.h"
+#include "sensitivity/tsens_engine.h"
+#include "test_util.h"
+
+namespace lsens {
+namespace {
+
+CountedRelation MakeRandom(Rng& rng, AttributeSet attrs, size_t max_rows,
+                           uint64_t domain, bool spread_values = false) {
+  CountedRelation r(std::move(attrs));
+  const size_t rows = rng.NextBounded(max_rows + 1);
+  std::vector<Value> row(r.arity());
+  for (size_t i = 0; i < rows; ++i) {
+    for (auto& v : row) {
+      v = static_cast<Value>(rng.NextBounded(domain));
+      // Exercise the full int64 range (negatives included) so the sort
+      // machinery's order-preserving bit flip is covered, not just the
+      // radix-friendly narrow domains.
+      if (spread_values && rng.NextBounded(2) == 0) {
+        v = v * -1'000'003 + static_cast<Value>(rng.NextBounded(7));
+      }
+    }
+    r.AppendRow(row, Count(1 + rng.NextBounded(4)));
+  }
+  r.Normalize();
+  return r;
+}
+
+// Reference implementation: filtered cross product by nested loops —
+// every pair whose shared attributes agree, counts multiplied.
+CountedRelation NestedLoopJoin(const CountedRelation& a,
+                               const CountedRelation& b) {
+  AttributeSet out_attrs = Union(a.attrs(), b.attrs());
+  AttributeSet key = Intersect(a.attrs(), b.attrs());
+  std::vector<int> a_key;
+  std::vector<int> b_key;
+  for (AttrId attr : key) {
+    a_key.push_back(a.ColumnOf(attr));
+    b_key.push_back(b.ColumnOf(attr));
+  }
+  CountedRelation out(out_attrs);
+  std::vector<Value> row(out_attrs.size());
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    for (size_t j = 0; j < b.NumRows(); ++j) {
+      bool match = true;
+      for (size_t k = 0; k < key.size(); ++k) {
+        match = match && a.Row(i)[static_cast<size_t>(a_key[k])] ==
+                             b.Row(j)[static_cast<size_t>(b_key[k])];
+      }
+      if (!match) continue;
+      for (size_t c = 0; c < out_attrs.size(); ++c) {
+        int ca = a.ColumnOf(out_attrs[c]);
+        row[c] = ca >= 0 ? a.Row(i)[static_cast<size_t>(ca)]
+                         : b.Row(j)[static_cast<size_t>(
+                               b.ColumnOf(out_attrs[c]))];
+      }
+      out.AppendRow(row, a.CountAt(i) * b.CountAt(j));
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+void ExpectSameRelation(const CountedRelation& x, const CountedRelation& y,
+                        const char* label) {
+  ASSERT_EQ(x.attrs(), y.attrs()) << label;
+  ASSERT_EQ(x.NumRows(), y.NumRows()) << label;
+  for (size_t i = 0; i < x.NumRows(); ++i) {
+    ASSERT_EQ(CompareRows(x.Row(i), y.Row(i)), 0) << label << " row " << i;
+    ASSERT_EQ(x.CountAt(i), y.CountAt(i)) << label << " count " << i;
+  }
+}
+
+TEST(JoinDifferentialTest, AllAlgorithmsMatchNestedLoopOracle) {
+  Rng rng(2024);
+  // Attribute shapes: overlapping keys, full overlap, and disjoint
+  // (empty-key cross product) pairs.
+  const std::vector<std::pair<AttributeSet, AttributeSet>> shapes = {
+      {{1, 2}, {2, 3}}, {{1, 2}, {1, 2}}, {{1}, {2}}, {{1, 2, 3}, {3, 4}},
+      {{2}, {1, 2, 3}}};
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto& [attrs_a, attrs_b] = shapes[trial % shapes.size()];
+    const bool spread = trial % 3 == 0;
+    CountedRelation a = MakeRandom(rng, attrs_a, 24, 5, spread);
+    CountedRelation b = MakeRandom(rng, attrs_b, 24, 5, spread);
+    CountedRelation oracle = NestedLoopJoin(a, b);
+    CountedRelation hash = NaturalJoin(a, b, {JoinAlgorithm::kHash});
+    CountedRelation merge = NaturalJoin(a, b, {JoinAlgorithm::kSortMerge});
+    CountedRelation automatic = NaturalJoin(a, b, {JoinAlgorithm::kAuto});
+    ExpectSameRelation(hash, oracle, "hash vs nested-loop");
+    ExpectSameRelation(merge, oracle, "sort-merge vs nested-loop");
+    ExpectSameRelation(automatic, oracle, "auto vs nested-loop");
+  }
+}
+
+TEST(JoinDifferentialTest, DefaultedSideMatchesManualExpansion) {
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    CountedRelation a = MakeRandom(rng, {1, 2}, 20, 4);
+    CountedRelation b = MakeRandom(rng, {2}, 6, 4);
+    b.set_default_count(Count(1 + rng.NextBounded(5)));
+
+    CountedRelation joined = NaturalJoin(a, b);
+    // Manual expansion: every a-row times its match count or the default.
+    CountedRelation expected(a.attrs());
+    for (size_t i = 0; i < a.NumRows(); ++i) {
+      Value key[] = {a.Row(i)[1]};
+      Count c = a.CountAt(i) * b.Lookup(key);
+      if (!c.IsZero()) expected.AppendRow(a.Row(i), c);
+    }
+    expected.Normalize();
+    ExpectSameRelation(joined, expected, "defaulted join");
+  }
+}
+
+TEST(JoinDifferentialTest, EmptyKeyAndEmptyInputEdgeCases) {
+  // Empty inputs under every algorithm, with and without a shared key.
+  for (JoinAlgorithm algo :
+       {JoinAlgorithm::kAuto, JoinAlgorithm::kHash, JoinAlgorithm::kSortMerge}) {
+    CountedRelation empty({1, 2});
+    CountedRelation one({2, 3});
+    one.AppendRow({5, 6}, Count(2));
+    one.Normalize();
+    EXPECT_EQ(NaturalJoin(empty, one, {algo}).NumRows(), 0u);
+    EXPECT_EQ(NaturalJoin(one, empty, {algo}).NumRows(), 0u);
+
+    CountedRelation disjoint({9});
+    disjoint.AppendRow({1}, Count(3));
+    disjoint.Normalize();
+    CountedRelation cross = NaturalJoin(one, disjoint, {algo});
+    ASSERT_EQ(cross.NumRows(), 1u);
+    EXPECT_EQ(cross.CountAt(0), Count(6));
+
+    // Unit is the neutral element regardless of algorithm.
+    CountedRelation u = NaturalJoin(one, CountedRelation::Unit(), {algo});
+    ExpectSameRelation(u, one, "unit join");
+  }
+}
+
+// --- Cost-based picker regressions ---------------------------------------
+
+CountedRelation MakeSkewed(Rng& rng, AttributeSet attrs, size_t rows,
+                           size_t hot_col, Value hot_key, uint64_t domain) {
+  CountedRelation r(std::move(attrs));
+  std::vector<Value> row(r.arity());
+  for (size_t i = 0; i < rows; ++i) {
+    // 90% of rows share the hot join key: the join output explodes.
+    for (auto& v : row) v = static_cast<Value>(rng.NextBounded(domain));
+    if (rng.NextBounded(10) < 9) row[hot_col] = hot_key;
+    r.AppendRow(row, Count::One());
+  }
+  r.Normalize();
+  return r;
+}
+
+TEST(JoinPickerTest, PrefersSortMergeWhenBothSidesKeySorted) {
+  // Key {1} is the leading column of both normalized relations, so both
+  // sides are already ordered on it and the merge needs no sort.
+  Rng rng(5);
+  CountedRelation a = MakeRandom(rng, {1, 2}, 2000, 50);
+  CountedRelation b = MakeRandom(rng, {1, 3}, 2000, 50);
+  ASSERT_GT(a.NumRows(), 500u);
+  EXPECT_EQ(ChooseJoinAlgorithm(a, b), JoinAlgorithm::kSortMerge);
+}
+
+TEST(JoinPickerTest, PrefersHashWhenSortWouldDominate) {
+  // Key {2} is a trailing column of `a` (unsorted on it), and the join is
+  // selective: sorting would dominate, hashing wins.
+  Rng rng(6);
+  CountedRelation a = MakeRandom(rng, {1, 2}, 2000, 2000);
+  CountedRelation b = MakeRandom(rng, {2, 3}, 2000, 2000);
+  ASSERT_GT(a.NumRows(), 500u);
+  EXPECT_EQ(ChooseJoinAlgorithm(a, b), JoinAlgorithm::kHash);
+}
+
+TEST(JoinPickerTest, SkewFlipsThePickToSortMerge) {
+  // Same shapes as above, but 90% of rows share one join key: the output
+  // (consulted through EstimateJoinRows) dwarfs the inputs, emission
+  // dominates both kernels, and the contiguous-run merge emission wins
+  // despite the sort.
+  Rng rng(7);
+  // The join key is attr 2: column 1 of `a`, column 0 of `b`.
+  CountedRelation a = MakeSkewed(rng, {1, 2}, 1500, 1, 42, 3000);
+  CountedRelation b = MakeSkewed(rng, {2, 3}, 1500, 0, 42, 3000);
+  ASSERT_GT(EstimateJoinRows(a, b), 100 * (a.NumRows() + b.NumRows()));
+  EXPECT_EQ(ChooseJoinAlgorithm(a, b), JoinAlgorithm::kSortMerge);
+  // And kAuto must agree with the exposed picker: pinned via the stats of
+  // the kernel that actually ran.
+  ExecContext ctx;
+  JoinOptions opts;
+  opts.ctx = &ctx;
+  NaturalJoin(a, b, opts);
+  EXPECT_NE(ctx.FindStats("join.sort_merge"), nullptr);
+  EXPECT_EQ(ctx.FindStats("join.hash"), nullptr);
+}
+
+// --- ExecContext stats ----------------------------------------------------
+
+TEST(ExecContextTest, TSensOverGhdReportsOperatorStats) {
+  auto ex = testing::MakeFigure1Example();
+  auto forest = BuildJoinForestGYO(ex.query);
+  ASSERT_TRUE(forest.ok());
+  Ghd ghd = MakeTrivialGhd(ex.query, *forest);
+
+  ExecContext ctx;
+  TSensOptions options;
+  options.join.ctx = &ctx;
+  auto result = TSensOverGhd(ex.query, ghd, ex.db, options);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_TRUE(ctx.has_stats());
+  const OperatorStats* fold = ctx.FindStats("fold_join");
+  ASSERT_NE(fold, nullptr);
+  EXPECT_GT(fold->calls, 0u);
+  EXPECT_NE(ctx.FindStats("group_by_sum"), nullptr);
+
+  std::string report = RenderExecStats(ctx);
+  EXPECT_NE(report.find("fold_join"), std::string::npos);
+  EXPECT_NE(report.find("group_by_sum"), std::string::npos);
+
+  ctx.ResetStats();
+  EXPECT_FALSE(ctx.has_stats());
+  EXPECT_NE(RenderExecStats(ctx).find("none collected"), std::string::npos);
+}
+
+TEST(ExecContextTest, StatsAccumulateAcrossCalls) {
+  Rng rng(11);
+  CountedRelation a = MakeRandom(rng, {1, 2}, 50, 6);
+  CountedRelation b = MakeRandom(rng, {2, 3}, 50, 6);
+  ExecContext ctx;
+  JoinOptions opts{JoinAlgorithm::kHash, &ctx};
+  NaturalJoin(a, b, opts);
+  const OperatorStats* first = ctx.FindStats("join.hash");
+  ASSERT_NE(first, nullptr);
+  const uint64_t calls_after_one = first->calls;
+  NaturalJoin(a, b, opts);
+  EXPECT_EQ(ctx.FindStats("join.hash")->calls, calls_after_one + 1);
+
+  ctx.collect_stats = false;
+  NaturalJoin(a, b, opts);
+  EXPECT_EQ(ctx.FindStats("join.hash")->calls, calls_after_one + 1);
+}
+
+// --- Shared sort machinery ------------------------------------------------
+
+TEST(RowSortTest, SortRowsByMatchesReferenceOnRandomInputs) {
+  Rng rng(13);
+  ExecContext ctx;
+  for (int trial = 0; trial < 80; ++trial) {
+    // Alternate narrow domains (radix path) and spread values (introsort
+    // path, negatives included); arities 1-4 cover the inline-key widths.
+    const size_t arity = 1 + trial % 4;
+    AttributeSet attrs;
+    for (size_t i = 0; i < arity; ++i) attrs.push_back(static_cast<AttrId>(i + 1));
+    CountedRelation r(attrs);
+    const size_t rows = 1 + rng.NextBounded(600);
+    std::vector<Value> row(arity);
+    for (size_t i = 0; i < rows; ++i) {
+      for (auto& v : row) {
+        v = static_cast<Value>(rng.NextBounded(trial % 2 ? 4 : 1000));
+        if (trial % 5 == 0) v -= 500;
+      }
+      r.AppendRow(row, Count::One());
+    }
+    std::vector<int> cols;
+    for (size_t c = 0; c < arity; ++c) {
+      if (rng.NextBounded(2) == 0) cols.push_back(static_cast<int>(c));
+    }
+    if (cols.empty()) cols.push_back(static_cast<int>(arity - 1));
+
+    std::vector<uint32_t> perm;
+    SortRowsBy(r, cols, perm, ctx);
+
+    std::vector<uint32_t> expected(r.NumRows());
+    std::iota(expected.begin(), expected.end(), 0);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [&](uint32_t x, uint32_t y) {
+                       return CompareRowsAt(r.Row(x), r.Row(y), cols) < 0;
+                     });
+    ASSERT_EQ(perm, expected) << "trial " << trial;
+  }
+}
+
+TEST(RowSortTest, DetectsPresortedInput) {
+  CountedRelation r({1, 2});
+  r.AppendRow({1, 9}, Count::One());
+  r.AppendRow({2, 3}, Count::One());
+  r.AppendRow({2, 5}, Count::One());
+  r.Normalize();
+  std::vector<int> prefix{0};
+  std::vector<int> trailing{1};
+  EXPECT_TRUE(RowsSortedBy(r, prefix));
+  EXPECT_FALSE(RowsSortedBy(r, trailing));
+}
+
+}  // namespace
+}  // namespace lsens
