@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace lsens {
+
+namespace {
+
+// Per-thread marker: set for the lifetime of a worker's loop so
+// OnWorkerThread() can identify pool threads across every pool instance.
+thread_local bool tl_on_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  LSENS_CHECK_MSG(num_workers > 0, "ThreadPool needs at least one worker");
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void(size_t)> task) {
+  LSENS_CHECK_MSG(!OnWorkerThread(),
+                  "nested ThreadPool submission from a worker thread");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Batch& batch = batches_[std::this_thread::get_id()];
+    ++batch.pending;
+    queue_.push_back(Task{std::move(task), &batch});
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  LSENS_CHECK_MSG(!OnWorkerThread(),
+                  "ThreadPool::Wait from a worker thread would deadlock");
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = batches_.find(std::this_thread::get_id());
+  if (it == batches_.end()) return;  // nothing outstanding for this thread
+  Batch& batch = it->second;
+  done_cv_.wait(lock, [&] { return batch.pending == 0; });
+  std::exception_ptr err = std::exchange(batch.first_error, nullptr);
+  batches_.erase(it);
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tl_on_pool_worker = true;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task.fn(index);
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (task.batch->first_error == nullptr) {
+        task.batch->first_error = std::current_exception();
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--task.batch->pending == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::OnWorkerThread() { return tl_on_pool_worker; }
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool([] {
+    if (const char* raw = std::getenv("LSENS_POOL_WORKERS")) {
+      long n = std::atol(raw);
+      if (n > 0) return static_cast<size_t>(n);
+    }
+    return std::max<size_t>(std::thread::hardware_concurrency(), 8);
+  }());
+  return pool;
+}
+
+}  // namespace lsens

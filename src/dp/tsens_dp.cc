@@ -44,7 +44,7 @@ StatusOr<DpRunResult> RunTSensDp(const ConjunctiveQuery& q, const Database& db,
   }
   auto tsens = TSensOverGhd(q, ghd, db, topts);
   if (!tsens.ok()) return tsens.status();
-  auto sens = TupleSensitivities(*tsens, q, db, private_atom);
+  auto sens = TupleSensitivities(*tsens, q, db, private_atom, topts);
   if (!sens.ok()) return sens.status();
 
   auto full = CountGhd(q, ghd, db, options.join);

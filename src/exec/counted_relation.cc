@@ -32,7 +32,8 @@ CountedRelation CountedRelation::Unit() {
 
 CountedRelation CountedRelation::FromAtom(const Relation& rel,
                                           const Atom& atom,
-                                          const AttributeSet& keep) {
+                                          const AttributeSet& keep,
+                                          ExecContext* ctx) {
   LSENS_CHECK(atom.vars.size() == rel.arity());
   LSENS_CHECK_MSG(IsSubset(keep, atom.VarSet()),
                   "projection must keep a subset of the atom's variables");
@@ -64,7 +65,7 @@ CountedRelation CountedRelation::FromAtom(const Relation& rel,
     for (size_t j = 0; j < keep.size(); ++j) projected[j] = row[keep_cols[j]];
     out.AppendRow(projected, Count::One());
   }
-  out.Normalize();
+  out.Normalize(ctx);
   return out;
 }
 
@@ -72,6 +73,19 @@ void CountedRelation::AppendRow(std::span<const Value> row, Count count) {
   LSENS_CHECK(row.size() == arity());
   data_.insert(data_.end(), row.begin(), row.end());
   counts_.push_back(count);
+  normalized_ = false;
+}
+
+void CountedRelation::AppendRows(const CountedRelation& other) {
+  LSENS_CHECK_MSG(other.attrs_ == attrs_,
+                  "AppendRows requires identical attribute sets");
+  // A default is a statement about the *absent* rows; concatenation cannot
+  // preserve either side's, so refuse rather than silently miscount.
+  LSENS_CHECK_MSG(!has_default() && !other.has_default(),
+                  "AppendRows cannot concatenate defaulted (top-k) relations");
+  if (other.counts_.empty()) return;
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  counts_.insert(counts_.end(), other.counts_.begin(), other.counts_.end());
   normalized_ = false;
 }
 
@@ -221,11 +235,11 @@ void CountedRelation::Filter(
   (void)k;
 }
 
-void CountedRelation::ScaleCounts(Count factor) {
+void CountedRelation::ScaleCounts(Count factor, ExecContext* ctx) {
   for (Count& c : counts_) c *= factor;
   default_count_ *= factor;
   // Scaling by zero can introduce zero-count rows; restore the invariant.
-  if (factor.IsZero() && !counts_.empty()) Normalize();
+  if (factor.IsZero() && !counts_.empty()) Normalize(ctx);
 }
 
 int CountedRelation::ColumnOf(AttrId attr) const {

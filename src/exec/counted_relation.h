@@ -40,8 +40,11 @@ class CountedRelation {
   // Ingests one atom of a query: binds columns to variables, applies the
   // atom's predicates, projects onto `keep` (must be a subset of the atom's
   // variables), and normalizes (duplicates grouped, counts summed).
+  // Normalize scratch comes from `ctx` (the thread-local default when
+  // null — pass the worker context when called from a parallel region).
   static CountedRelation FromAtom(const Relation& rel, const Atom& atom,
-                                  const AttributeSet& keep);
+                                  const AttributeSet& keep,
+                                  ExecContext* ctx = nullptr);
 
   const AttributeSet& attrs() const { return attrs_; }
   size_t arity() const { return attrs_.size(); }
@@ -60,6 +63,10 @@ class CountedRelation {
   void AppendRow(std::initializer_list<Value> row, Count count) {
     AppendRow(std::span<const Value>(row.begin(), row.size()), count);
   }
+  // Bulk-appends every explicit row of `other` (same attrs required).
+  // Used to concatenate the per-partition outputs of parallel joins before
+  // the single Normalize; does not touch either default_count.
+  void AppendRows(const CountedRelation& other);
   void Reserve(size_t rows) {
     data_.reserve(rows * arity());
     counts_.reserve(rows);
@@ -92,7 +99,10 @@ class CountedRelation {
   void Filter(const std::function<bool(std::span<const Value>)>& keep);
 
   // Multiplies every count (and the default) by `factor`, saturating.
-  void ScaleCounts(Count factor);
+  // A zero factor triggers a Normalize (zero-count rows must drop), whose
+  // scratch comes from `ctx` — pass the worker context inside parallel
+  // regions.
+  void ScaleCounts(Count factor, ExecContext* ctx = nullptr);
 
   // Column position of `attr` within attrs(), or -1.
   int ColumnOf(AttrId attr) const;

@@ -50,7 +50,8 @@ CountedRelation FoldJoin(std::vector<const CountedRelation*> pieces,
       bool shares = Intersects(piece->attrs(), acc.attrs());
       size_t rows = piece->has_default()
                         ? acc.NumRows()  // covering join keeps acc's rows
-                        : EstimateJoinRows(acc, *piece, options.ctx);
+                        : EstimateJoinRows(acc, *piece, options.ctx,
+                                           options.threads);
       if (best == SIZE_MAX || (shares && !best_shares) ||
           (shares == best_shares && rows < best_rows)) {
         best = i;

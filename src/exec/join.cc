@@ -16,6 +16,10 @@ namespace {
 // doubling) instead of up front, bounding a single pre-allocation.
 constexpr size_t kMaxReserveRows = size_t{1} << 22;
 
+// Probe sides smaller than this are never worth fanning out: the emit loop
+// is a few ns per row, so below this the pool handoff dominates.
+constexpr size_t kParallelProbeMinRows = 4096;
+
 // Precomputed column routing for one join: where each output column comes
 // from, and where the key columns live on each side.
 struct JoinLayout {
@@ -123,9 +127,19 @@ CountedRelation CrossProduct(const CountedRelation& a,
 // estimate pass in NaturalJoin (whose wall time is reported as
 // "estimate_join_rows"; this timer covers probe/emit/normalize).
 // `est_rows` is the exact pre-merge output size.
+//
+// With threads > 1 and a probe side past kParallelProbeMinRows the probe
+// is partitioned into `threads` contiguous row ranges fanned out over the
+// global pool: each partition probes the shared read-only table and emits
+// into its own relation (scratch from its worker context), and the parts
+// are concatenated in partition order before the single Normalize. The
+// emitted multiset is exactly the serial one and Count addition is
+// associative and commutative (saturating), so the normalized output — and
+// the one recorded "join.hash" stats row — is bit-identical to serial.
 CountedRelation HashJoin(const CountedRelation& a, const CountedRelation& b,
                          const JoinLayout& layout, const FlatGroupTable& table,
-                         bool build_a, size_t est_rows, ExecContext& ctx) {
+                         bool build_a, size_t est_rows, ExecContext& ctx,
+                         int threads) {
   const CountedRelation& build = build_a ? a : b;
   const CountedRelation& probe = build_a ? b : a;
   const std::vector<int>& probe_cols =
@@ -133,20 +147,47 @@ CountedRelation HashJoin(const CountedRelation& a, const CountedRelation& b,
 
   OpTimer op(ctx, "join.hash", a.NumRows() + b.NumRows());
   op.set_build_rows(build.NumRows());
+  const size_t n = probe.NumRows();
+
+  auto probe_range = [&](size_t begin, size_t end, CountedRelation* out,
+                         std::vector<Value>& scratch) {
+    scratch.resize(layout.out_src.size());
+    for (size_t j = begin; j < end; ++j) {
+      std::span<const Value> pr = probe.Row(j);
+      for (uint32_t i : table.Probe(pr, probe_cols)) {
+        std::span<const Value> br = build.Row(i);
+        std::span<const Value> ra = build_a ? br : pr;
+        std::span<const Value> rb = build_a ? pr : br;
+        EmitRow(layout, ra, rb, build.CountAt(i) * probe.CountAt(j), out,
+                scratch);
+      }
+    }
+  };
+
+  if (ShouldRunParallel(threads, n) && n >= kParallelProbeMinRows) {
+    const size_t parts = static_cast<size_t>(threads);
+    std::vector<CountedRelation> outputs;
+    outputs.reserve(parts);
+    for (size_t p = 0; p < parts; ++p) outputs.emplace_back(layout.out_attrs);
+    ParallelApply(ctx, threads, parts, [&](size_t p, ExecContext& wctx) {
+      const size_t begin = p * n / parts;
+      const size_t end = (p + 1) * n / parts;
+      outputs[p].Reserve(std::min(est_rows / parts + 1, kMaxReserveRows));
+      probe_range(begin, end, &outputs[p], wctx.row_buf());
+    });
+    CountedRelation out = std::move(outputs[0]);
+    // One growth to the exact pre-merge size up front, so the concat loop
+    // never reallocates its way from est_rows/parts to est_rows.
+    out.Reserve(std::min(est_rows, kMaxReserveRows));
+    for (size_t p = 1; p < parts; ++p) out.AppendRows(outputs[p]);
+    out.Normalize(&ctx);
+    op.set_rows_out(out.NumRows());
+    return out;
+  }
+
   CountedRelation out(layout.out_attrs);
   out.Reserve(std::min(est_rows, kMaxReserveRows));
-  std::vector<Value>& scratch = ctx.row_buf();
-  scratch.resize(layout.out_src.size());
-  for (size_t j = 0; j < probe.NumRows(); ++j) {
-    std::span<const Value> pr = probe.Row(j);
-    for (uint32_t i : table.Probe(pr, probe_cols)) {
-      std::span<const Value> br = build.Row(i);
-      std::span<const Value> ra = build_a ? br : pr;
-      std::span<const Value> rb = build_a ? pr : br;
-      EmitRow(layout, ra, rb, build.CountAt(i) * probe.CountAt(j), &out,
-              scratch);
-    }
-  }
+  probe_range(0, n, &out, ctx.row_buf());
   out.Normalize(&ctx);
   op.set_rows_out(out.NumRows());
   return out;
@@ -208,11 +249,31 @@ CountedRelation SortMergeJoin(const CountedRelation& a,
 }
 
 // Sums the probe-side run sizes against `table` — the exact pre-merge join
-// cardinality in O(|probe|).
+// cardinality in O(|probe|). Large probes are chunk-summed on the pool;
+// partial sums are added in chunk order, so the total is exact and
+// deterministic either way.
 size_t ProbeTotalRows(const FlatGroupTable& table, const CountedRelation& probe,
-                      std::span<const int> probe_cols) {
+                      std::span<const int> probe_cols, ExecContext& ctx,
+                      int threads) {
+  const size_t n = probe.NumRows();
+  if (ShouldRunParallel(threads, n) && n >= kParallelProbeMinRows) {
+    const size_t parts = static_cast<size_t>(threads);
+    std::vector<size_t> partial(parts, 0);
+    ParallelApply(ctx, threads, parts, [&](size_t p, ExecContext&) {
+      const size_t begin = p * n / parts;
+      const size_t end = (p + 1) * n / parts;
+      size_t sum = 0;
+      for (size_t j = begin; j < end; ++j) {
+        sum += table.Probe(probe.Row(j), probe_cols).size();
+      }
+      partial[p] = sum;
+    });
+    size_t total = 0;
+    for (size_t s : partial) total += s;
+    return total;
+  }
   size_t total = 0;
-  for (size_t j = 0; j < probe.NumRows(); ++j) {
+  for (size_t j = 0; j < n; ++j) {
     total += table.Probe(probe.Row(j), probe_cols).size();
   }
   return total;
@@ -292,7 +353,7 @@ CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
     OpTimer op(ctx, "estimate_join_rows", a.NumRows() + b.NumRows());
     op.set_build_rows(build.NumRows());
     table.Build(build, build_cols);
-    est_rows = ProbeTotalRows(table, probe, probe_cols);
+    est_rows = ProbeTotalRows(table, probe, probe_cols, ctx, options.threads);
     op.set_rows_out(est_rows);
   }
 
@@ -304,7 +365,8 @@ CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
       return SortMergeJoin(a, b, layout, est_rows, ctx);
     }
   }
-  return HashJoin(a, b, layout, table, build_a, est_rows, ctx);
+  return HashJoin(a, b, layout, table, build_a, est_rows, ctx,
+                  options.threads);
 }
 
 JoinAlgorithm ChooseJoinAlgorithm(const CountedRelation& a,
@@ -319,7 +381,7 @@ JoinAlgorithm ChooseJoinAlgorithm(const CountedRelation& a,
 }
 
 size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b,
-                        ExecContext* ctx_in) {
+                        ExecContext* ctx_in, int threads) {
   AttributeSet key = Intersect(a.attrs(), b.attrs());
   if (key.empty()) return a.NumRows() * b.NumRows();
   ExecContext& ctx = ResolveExecContext(ctx_in);
@@ -338,7 +400,8 @@ size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b,
   FlatGroupTable& table = ctx.group_table();
   op.set_build_rows(build.NumRows());
   table.Build(build, build_a ? a_cols : b_cols);
-  const size_t total = ProbeTotalRows(table, probe, build_a ? b_cols : a_cols);
+  const size_t total = ProbeTotalRows(table, probe, build_a ? b_cols : a_cols,
+                                      ctx, threads);
   op.set_rows_out(total);
   return total;
 }

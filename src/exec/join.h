@@ -21,7 +21,24 @@ struct JoinOptions {
   // Execution context supplying scratch arenas and collecting operator
   // stats. Null = the thread-local default context.
   ExecContext* ctx = nullptr;
+  // Maximum parallelism for the partitioned probe of large hash joins
+  // (and for the parallel regions of the sensitivity engine, which reads
+  // this knob through TSensOptions::join). 0 or 1 = fully serial, today's
+  // behavior. Results are bit-identical at every setting; see the
+  // "Threading model" section of the README.
+  int threads = 0;
 };
+
+// `base` with the context swapped for a pooled worker's and parallelism
+// disabled — the options every operator invoked *inside* a parallel region
+// must run with (regions never nest; see common/thread_pool.h).
+inline JoinOptions WorkerJoinOptions(const JoinOptions& base,
+                                     ExecContext& worker_ctx) {
+  JoinOptions o = base;
+  o.ctx = &worker_ctx;
+  o.threads = 0;
+  return o;
+}
 
 // The paper's r⋈ operator: natural join on the shared attributes with
 // multiplicity (cnt) propagation by product. Output attributes are the
@@ -49,9 +66,10 @@ JoinAlgorithm ChooseJoinAlgorithm(const CountedRelation& a,
 // O(|a| + |b|) with a flat hash-group table on the smaller side (key
 // verification included, so the count is exact even under hash
 // collisions). Used by FoldJoin's greedy join-order heuristic and the
-// cost-based picker.
+// cost-based picker. `threads` > 1 chunk-sums large probe sides on the
+// global pool (the count is unchanged).
 size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b,
-                        ExecContext* ctx = nullptr);
+                        ExecContext* ctx = nullptr, int threads = 0);
 
 }  // namespace lsens
 

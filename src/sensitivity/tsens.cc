@@ -56,7 +56,8 @@ StatusOr<SensitivityResult> ComputeDownwardLocalSensitivity(
   result.argmax_atom = -1;
   for (AtomSensitivity& atom : result.atoms) {
     if (atom.skipped) continue;
-    auto per_tuple = TupleSensitivities(result, q, db, atom.atom_index);
+    auto per_tuple = TupleSensitivities(result, q, db, atom.atom_index,
+                                        options);
     if (!per_tuple.ok()) return per_tuple.status();
     const Relation* rel = db.Find(atom.relation);
     LSENS_CHECK(rel != nullptr);

@@ -11,6 +11,11 @@ namespace lsens {
 
 namespace {
 
+// Relations smaller than this are never worth fanning TupleSensitivities
+// out: a pool round trip costs more than the lookups themselves (same
+// rationale as the join layer's kParallelProbeMinRows).
+constexpr size_t kParallelTupleMinRows = 4096;
+
 // Applies atom `a`'s predicates whose variable lies in rel.attrs().
 void ApplyPredicates(const Atom& atom, CountedRelation* rel) {
   std::vector<std::pair<int, Predicate>> checks;
@@ -68,15 +73,27 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
   ExecContext& ctx = ResolveExecContext(options.join.ctx);
   const int num_atoms = q.num_atoms();
   const size_t num_bags = ghd.bags.size();
+  const int threads = options.join.threads;
 
-  // S_a: shared-variable projections with predicates applied.
-  std::vector<CountedRelation> s;
-  s.reserve(static_cast<size_t>(num_atoms));
+  // S_a: shared-variable projections with predicates applied. Relation
+  // lookups stay serial (Status propagation stays simple); the per-atom
+  // projection + normalize work fans out, each task on its own worker
+  // context.
+  std::vector<const Relation*> atom_rels(static_cast<size_t>(num_atoms));
   for (int a = 0; a < num_atoms; ++a) {
     auto rel = db.Get(q.atom(a).relation);
     if (!rel.ok()) return rel.status();
-    s.push_back(CountedRelation::FromAtom(**rel, q.atom(a), q.SharedVarsOf(a)));
+    atom_rels[static_cast<size_t>(a)] = *rel;
   }
+  std::vector<CountedRelation> s;
+  s.reserve(static_cast<size_t>(num_atoms));
+  for (int a = 0; a < num_atoms; ++a) s.emplace_back(AttributeSet{});
+  ParallelApply(ctx, threads, static_cast<size_t>(num_atoms),
+                [&](size_t a, ExecContext& wctx) {
+                  const int ai = static_cast<int>(a);
+                  s[a] = CountedRelation::FromAtom(
+                      *atom_rels[a], q.atom(ai), q.SharedVarsOf(ai), &wctx);
+                });
 
   std::vector<int> bag_of(static_cast<size_t>(num_atoms), -1);
   for (size_t v = 0; v < num_bags; ++v) {
@@ -99,19 +116,24 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
   std::vector<std::optional<CountedRelation>> bot_use(num_bags);
   std::vector<std::optional<CountedRelation>> top_full(num_bags);
   std::vector<std::optional<CountedRelation>> top_use(num_bags);
-  bool truncation_applied = false;
+  // Per-tree so concurrent trees never share a flag; OR-reduced below.
+  std::vector<uint8_t> tree_truncated(num_trees, 0);
 
-  auto maybe_truncate = [&](const CountedRelation& full) {
-    CountedRelation t = full;
-    if (options.top_k > 0 && t.NumRows() > options.top_k) {
-      t.TruncateTopK(options.top_k, &ctx);
-      truncation_applied = true;
-    }
-    return t;
-  };
-
-  for (size_t t = 0; t < num_trees; ++t) {
+  // The ⊥/⊤ recursions of one tree are order-dependent (post/pre order),
+  // but distinct trees of the decomposition forest touch disjoint bags —
+  // disconnected components run concurrently, each on its own context.
+  // Within a tree the FoldJoins parallelize internally (partitioned probe)
+  // whenever this pass runs on the main thread.
+  auto run_tree = [&](size_t t, ExecContext& tctx, const JoinOptions& jopts) {
     const JoinTree& tree = ghd.forest.trees[t];
+    auto maybe_truncate = [&](const CountedRelation& full) {
+      CountedRelation trunc = full;
+      if (options.top_k > 0 && trunc.NumRows() > options.top_k) {
+        trunc.TruncateTopK(options.top_k, &tctx);
+        tree_truncated[t] = 1;
+      }
+      return trunc;
+    };
     // Botjoins, leaves to root (Eq. 7 generalized to bags).
     for (int bag : tree.PostOrder()) {
       const GhdBag& spec = ghd.bags[static_cast<size_t>(bag)];
@@ -122,14 +144,14 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       for (int c : tree.Children(bag)) {
         pieces.push_back(&*bot_use[static_cast<size_t>(c)]);
       }
-      CountedRelation folded = FoldJoin(std::move(pieces), options.join);
+      CountedRelation folded = FoldJoin(std::move(pieces), jopts);
       int parent = tree.Parent(bag);
       if (parent == -1) {
         tree_total[t] = folded.TotalCount();
       } else {
         AttributeSet link = Intersect(
             spec.vars, ghd.bags[static_cast<size_t>(parent)].vars);
-        bot_full[static_cast<size_t>(bag)] = GroupBySum(folded, link, &ctx);
+        bot_full[static_cast<size_t>(bag)] = GroupBySum(folded, link, &tctx);
         bot_use[static_cast<size_t>(bag)] =
             maybe_truncate(*bot_full[static_cast<size_t>(bag)]);
       }
@@ -150,19 +172,32 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       for (int sibling : tree.Neighbors(bag)) {
         pieces.push_back(&*bot_use[static_cast<size_t>(sibling)]);
       }
-      CountedRelation folded = FoldJoin(std::move(pieces), options.join);
+      CountedRelation folded = FoldJoin(std::move(pieces), jopts);
       AttributeSet link = Intersect(spec.vars, pspec.vars);
-      top_full[static_cast<size_t>(bag)] = GroupBySum(folded, link, &ctx);
+      top_full[static_cast<size_t>(bag)] = GroupBySum(folded, link, &tctx);
       top_use[static_cast<size_t>(bag)] =
           maybe_truncate(*top_full[static_cast<size_t>(bag)]);
     }
+  };
+  if (ShouldRunParallel(threads, num_trees)) {
+    ParallelApply(ctx, threads, num_trees, [&](size_t t, ExecContext& wctx) {
+      run_tree(t, wctx, WorkerJoinOptions(options.join, wctx));
+    });
+  } else {
+    for (size_t t = 0; t < num_trees; ++t) run_tree(t, ctx, options.join);
   }
+  bool truncation_applied = false;
+  for (uint8_t f : tree_truncated) truncation_applied = truncation_applied || f;
 
-  // Multiplicity tables T_a (Eq. 6 generalized: within-bag co-atoms join in).
+  // Multiplicity tables T_a (Eq. 6 generalized: within-bag co-atoms join
+  // in). The per-atom subproblems only read shared state (s, the ⊥/⊤
+  // tables, tree totals) and write disjoint result.atoms slots, so they
+  // fan out one task per atom; the winner reduction runs afterwards in
+  // atom order, exactly matching the serial tie-breaking.
   SensitivityResult result;
   result.local_sensitivity = Count::Zero();
   result.atoms.resize(static_cast<size_t>(num_atoms));
-  for (int a = 0; a < num_atoms; ++a) {
+  auto compute_atom = [&](int a, ExecContext& actx, const JoinOptions& jopts) {
     AtomSensitivity& out = result.atoms[static_cast<size_t>(a)];
     out.atom_index = a;
     out.relation = q.atom(a).relation;
@@ -172,7 +207,7 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
     if (std::find(options.skip_atoms.begin(), options.skip_atoms.end(), a) !=
         options.skip_atoms.end()) {
       out.skipped = true;
-      continue;
+      return;
     }
 
     const int v = bag_of[static_cast<size_t>(a)];
@@ -209,11 +244,11 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
     for (const auto& comp : components) {
       std::vector<const CountedRelation*> comp_pieces;
       for (size_t idx : comp) comp_pieces.push_back(pieces[idx]);
-      CountedRelation folded = FoldJoin(std::move(comp_pieces), options.join);
+      CountedRelation folded = FoldJoin(std::move(comp_pieces), jopts);
       AttributeSet group = Intersect(out.table_attrs, folded.attrs());
       CountedRelation table = (group == folded.attrs())
                                   ? std::move(folded)
-                                  : GroupBySum(folded, group, &ctx);
+                                  : GroupBySum(folded, group, &actx);
       ApplyPredicates(q.atom(a), &table);
       max_product *= table.MaxCount();
       comp_tables.push_back(std::move(table));
@@ -250,18 +285,41 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       for (const auto& ct : comp_tables) comp_ptrs.push_back(&ct);
       CountedRelation table =
           comp_tables.empty() ? CountedRelation::Unit()
-                              : FoldJoin(std::move(comp_ptrs), options.join);
+                              : FoldJoin(std::move(comp_ptrs), jopts);
       // FoldJoin rejects all-defaulted inputs; top-k combined with
       // keep_tables is not supported (exact tables are the point).
-      table.ScaleCounts(scale);
+      table.ScaleCounts(scale, &actx);
       if (table.attrs() != out.table_attrs) {
         // Components may be scalars (empty attrs); regroup to be safe.
         table = GroupBySum(table, Intersect(out.table_attrs, table.attrs()),
-                           &ctx);
+                           &actx);
       }
       out.table = std::move(table);
     }
+  };
 
+  // Per-atom task parallelism pays off once two or more tables actually
+  // get computed; otherwise stay serial so the single atom's joins keep
+  // their partitioned-probe parallelism (regions never nest).
+  size_t unskipped = 0;
+  for (int a = 0; a < num_atoms; ++a) {
+    if (std::find(options.skip_atoms.begin(), options.skip_atoms.end(), a) ==
+        options.skip_atoms.end()) {
+      ++unskipped;
+    }
+  }
+  if (ShouldRunParallel(threads, unskipped)) {
+    ParallelApply(ctx, threads, static_cast<size_t>(num_atoms),
+                  [&](size_t a, ExecContext& wctx) {
+                    compute_atom(static_cast<int>(a), wctx,
+                                 WorkerJoinOptions(options.join, wctx));
+                  });
+  } else {
+    for (int a = 0; a < num_atoms; ++a) compute_atom(a, ctx, options.join);
+  }
+
+  for (int a = 0; a < num_atoms; ++a) {
+    const AtomSensitivity& out = result.atoms[static_cast<size_t>(a)];
     if (out.max_sensitivity > result.local_sensitivity ||
         (result.argmax_atom == -1 && !out.max_sensitivity.IsZero())) {
       result.local_sensitivity = out.max_sensitivity;
@@ -274,7 +332,8 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
 StatusOr<std::vector<Count>> TupleSensitivities(const SensitivityResult& result,
                                                 const ConjunctiveQuery& q,
                                                 const Database& db,
-                                                int atom_index) {
+                                                int atom_index,
+                                                const TSensOptions& options) {
   if (atom_index < 0 || atom_index >= static_cast<int>(result.atoms.size())) {
     return Status::InvalidArgument("atom index out of range");
   }
@@ -302,18 +361,36 @@ StatusOr<std::vector<Count>> TupleSensitivities(const SensitivityResult& result,
     pred_cols[p] = c;
   }
 
-  std::vector<Count> out(rel.NumRows(), Count::Zero());
-  std::vector<Value> key(cols.size());
-  for (size_t i = 0; i < rel.NumRows(); ++i) {
-    std::span<const Value> row = rel.Row(i);
-    bool pass = true;
-    for (size_t p = 0; p < atom.predicates.size() && pass; ++p) {
-      pass = atom.predicates[p].Eval(row[pred_cols[p]]);
+  // Per-tuple δ lookups are independent reads of the (normalized, hence
+  // immutable) multiplicity table; each row writes only its own slot, so
+  // the chunked fan-out below returns the exact serial vector.
+  ExecContext& ctx = ResolveExecContext(options.join.ctx);
+  OpTimer op(ctx, "tsens.tuple_sens", rel.NumRows());
+  const size_t n = rel.NumRows();
+  std::vector<Count> out(n, Count::Zero());
+  auto lookup_range = [&](size_t begin, size_t end) {
+    std::vector<Value> key(cols.size());
+    for (size_t i = begin; i < end; ++i) {
+      std::span<const Value> row = rel.Row(i);
+      bool pass = true;
+      for (size_t p = 0; p < atom.predicates.size() && pass; ++p) {
+        pass = atom.predicates[p].Eval(row[pred_cols[p]]);
+      }
+      if (!pass) continue;
+      for (size_t j = 0; j < cols.size(); ++j) key[j] = row[cols[j]];
+      out[i] = as.table->Lookup(key);
     }
-    if (!pass) continue;
-    for (size_t j = 0; j < cols.size(); ++j) key[j] = row[cols[j]];
-    out[i] = as.table->Lookup(key);
+  };
+  const int threads = options.join.threads;
+  if (ShouldRunParallel(threads, n) && n >= kParallelTupleMinRows) {
+    const size_t parts = std::min(static_cast<size_t>(threads), n);
+    ParallelApply(ctx, threads, parts, [&](size_t p, ExecContext&) {
+      lookup_range(p * n / parts, (p + 1) * n / parts);
+    });
+  } else {
+    lookup_range(0, n);
   }
+  op.set_rows_out(n);
   return out;
 }
 

@@ -35,13 +35,16 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
     link[i] = common[0];
   }
 
-  // S_i: counted projections onto the link attributes (predicates applied).
-  std::vector<CountedRelation> s;
-  s.reserve(m);
+  // S_i: counted projections onto the link attributes (predicates
+  // applied). Relation lookups and chain validation stay serial (Status
+  // propagation); the projections fan out per position.
+  std::vector<const Relation*> chain_rels(m);
+  std::vector<AttributeSet> keeps(m);
   for (size_t i = 0; i < m; ++i) {
     const Atom& atom = q.atom(order[i]);
     auto rel = db.Get(atom.relation);
     if (!rel.ok()) return rel.status();
+    chain_rels[i] = *rel;
     AttributeSet keep;
     if (i > 0) keep.push_back(link[i - 1]);
     if (i + 1 < m) keep.push_back(link[i]);
@@ -49,15 +52,28 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
     if (!IsSubset(keep, atom.VarSet())) {
       return Status::InvalidArgument("order is not a chain over the atoms");
     }
-    s.push_back(CountedRelation::FromAtom(**rel, atom, keep));
+    keeps[i] = std::move(keep);
   }
-
   ExecContext& ctx = ResolveExecContext(options.join.ctx);
-  bool truncation_applied = false;
-  auto maybe_truncate = [&](CountedRelation* r) {
+  const int threads = options.join.threads;
+  std::vector<CountedRelation> s;
+  s.reserve(m);
+  for (size_t i = 0; i < m; ++i) s.emplace_back(AttributeSet{});
+  ParallelApply(ctx, threads, m, [&](size_t i, ExecContext& wctx) {
+    s[i] = CountedRelation::FromAtom(*chain_rels[i], q.atom(order[i]),
+                                     keeps[i], &wctx);
+  });
+
+  // The ⊤ and ⊥ recursions are each a sequential chain (J[i] needs
+  // J[i-1]), but the two chains share nothing except the read-only S_i —
+  // they run as two concurrent tasks. Truncation flags are per-chain so
+  // the tasks never write shared state.
+  bool chain_truncated[2] = {false, false};
+  auto maybe_truncate = [&](CountedRelation* r, ExecContext& cctx,
+                            size_t chain) {
     if (options.top_k > 0 && r->NumRows() > options.top_k) {
-      r->TruncateTopK(options.top_k, &ctx);
-      truncation_applied = true;
+      r->TruncateTopK(options.top_k, &cctx);
+      chain_truncated[chain] = true;
     }
   };
 
@@ -66,35 +82,57 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
   std::vector<CountedRelation> topjoin;
   topjoin.reserve(m);
   topjoin.emplace_back(AttributeSet{});  // J[0] placeholder, unused
-  for (size_t i = 1; i < m; ++i) {
-    AttributeSet group{link[i - 1]};
-    CountedRelation j =
-        (i == 1) ? GroupBySum(s[0], group, &ctx)
-                 : GroupBySum(NaturalJoin(s[i - 1], topjoin[i - 1],
-                                          options.join),
-                              group, &ctx);
-    maybe_truncate(&j);
-    topjoin.push_back(std::move(j));
-  }
+  for (size_t i = 1; i < m; ++i) topjoin.emplace_back(AttributeSet{});
+  auto run_topjoins = [&](ExecContext& cctx, const JoinOptions& jopts) {
+    for (size_t i = 1; i < m; ++i) {
+      AttributeSet group{link[i - 1]};
+      CountedRelation j =
+          (i == 1) ? GroupBySum(s[0], group, &cctx)
+                   : GroupBySum(NaturalJoin(s[i - 1], topjoin[i - 1], jopts),
+                                group, &cctx);
+      maybe_truncate(&j, cctx, 0);
+      topjoin[i] = std::move(j);
+    }
+  };
 
   // Botjoins: K[i] = γ_{link[i-1]} r⋈(K[i+1], S_i); K[m-1] = γ(S_{m-1}).
   // (K[i] defined for i in [1, m-1], keyed on link[i-1].)
   std::vector<CountedRelation> botjoin(m, CountedRelation(AttributeSet{}));
-  for (size_t i = m; i-- > 1;) {
-    AttributeSet group{link[i - 1]};
-    CountedRelation k =
-        (i == m - 1)
-            ? GroupBySum(s[m - 1], group, &ctx)
-            : GroupBySum(NaturalJoin(s[i], botjoin[i + 1], options.join),
-                         group, &ctx);
-    maybe_truncate(&k);
-    botjoin[i] = std::move(k);
+  auto run_botjoins = [&](ExecContext& cctx, const JoinOptions& jopts) {
+    for (size_t i = m; i-- > 1;) {
+      AttributeSet group{link[i - 1]};
+      CountedRelation k =
+          (i == m - 1)
+              ? GroupBySum(s[m - 1], group, &cctx)
+              : GroupBySum(NaturalJoin(s[i], botjoin[i + 1], jopts), group,
+                           &cctx);
+      maybe_truncate(&k, cctx, 1);
+      botjoin[i] = std::move(k);
+    }
+  };
+  if (ShouldRunParallel(threads, 2)) {
+    ParallelApply(ctx, threads, 2, [&](size_t chain, ExecContext& wctx) {
+      const JoinOptions jopts = WorkerJoinOptions(options.join, wctx);
+      if (chain == 0) {
+        run_topjoins(wctx, jopts);
+      } else {
+        run_botjoins(wctx, jopts);
+      }
+    });
+  } else {
+    run_topjoins(ctx, options.join);
+    run_botjoins(ctx, options.join);
   }
+  const bool truncation_applied = chain_truncated[0] || chain_truncated[1];
 
+  // Per-distance δ_i computations: every position reads only the shared
+  // ⊤/⊥ chains (filtering its own copies) and writes its own atom slot, so
+  // they fan out one task per position; the winner reduction afterwards
+  // walks positions in chain order, matching the serial tie-breaking.
   SensitivityResult result;
   result.local_sensitivity = Count::Zero();
   result.atoms.resize(static_cast<size_t>(q.num_atoms()));
-  for (size_t i = 0; i < m; ++i) {
+  auto compute_position = [&](size_t i) {
     const int atom_index = order[i];
     AtomSensitivity& out = result.atoms[static_cast<size_t>(atom_index)];
     out.atom_index = atom_index;
@@ -105,7 +143,7 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
     if (std::find(options.skip_atoms.begin(), options.skip_atoms.end(),
                   atom_index) != options.skip_atoms.end()) {
       out.skipped = true;
-      continue;
+      return;
     }
 
     // δ_i = max ⊤ · max ⊥, with predicate filtering on the link values:
@@ -159,7 +197,15 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
         out.argmax = std::move(argmax);
       }
     }
+  };
 
+  ParallelApply(ctx, threads, m,
+                [&](size_t i, ExecContext&) { compute_position(i); });
+
+  for (size_t i = 0; i < m; ++i) {
+    const int atom_index = order[i];
+    const AtomSensitivity& out = result.atoms[static_cast<size_t>(atom_index)];
+    if (out.skipped) continue;
     if (out.max_sensitivity > result.local_sensitivity ||
         (result.argmax_atom == -1 && !out.max_sensitivity.IsZero())) {
       result.local_sensitivity = out.max_sensitivity;
