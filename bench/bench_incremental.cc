@@ -1,0 +1,257 @@
+// Incremental sensitivity maintenance under update streams: replays
+// randomized single-row insert/delete streams over the acyclic-tree, path,
+// and TPC-H q1 workloads, comparing a SensitivityCache repair against a
+// from-scratch ComputeLocalSensitivity after every update. Reports
+// wall-clock per repaired update, full-recompute wall clock, and the
+// rows-processed ratio (summed over every ExecContext operator), and
+// writes the BENCH_incremental.json trajectory file.
+//
+// Knobs:
+//   LSENS_INC_ROWS         rows per synthetic relation   (default 100000)
+//   LSENS_INC_DOMAIN       synthetic join-key domain     (default 1000)
+//   LSENS_INC_UPDATES      stream length                 (default 200)
+//   LSENS_INC_CHECK_EVERY  full-recompute cadence        (default 25)
+//   LSENS_INC_TPCH_SCALE   TPC-H scale factor            (default 0.02)
+//   LSENS_BENCH_INC_JSON   output path                   (default
+//                          BENCH_incremental.json)
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "exec/exec_context.h"
+#include "sensitivity/incremental.h"
+#include "sensitivity/tsens.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace lsens {
+namespace {
+
+struct StreamResult {
+  std::string name;
+  size_t rows = 0;
+  long updates = 0;
+  double repair_ns = 0;       // median wall per repaired update
+  double full_ns = 0;         // median wall per from-scratch compute
+  double repair_rows = 0;     // median rows processed per repaired update
+  double full_rows = 0;       // rows processed by one full compute
+  uint64_t repairs = 0;
+  uint64_t fallbacks = 0;
+};
+
+uint64_t TotalRows(const ExecContext& ctx) {
+  uint64_t total = 0;
+  for (const OperatorStats& s : ctx.stats()) total += s.rows_in + s.rows_out;
+  return total;
+}
+
+// One random single-row mutation: duplicate a random existing row (keeps
+// the join-key distribution realistic) or delete a random row.
+void MutateOne(Rng& rng, const ConjunctiveQuery& q, Database& db) {
+  const Atom& atom = q.atom(
+      static_cast<int>(rng.NextBounded(static_cast<uint64_t>(q.num_atoms()))));
+  Relation* rel = db.Find(atom.relation);
+  const size_t n = rel->NumRows();
+  if (n > 1 && rng.NextBounded(2) == 0) {
+    rel->SwapRemoveRow(rng.NextBounded(n));
+  } else if (n > 0) {
+    std::span<const Value> picked = rel->Row(rng.NextBounded(n));
+    std::vector<Value> row(picked.begin(), picked.end());
+    rel->AppendRow(row);
+  }
+}
+
+StreamResult ReplayStream(const std::string& name, const ConjunctiveQuery& q,
+                          Database& db, const TSensComputeOptions& options,
+                          long updates, long check_every, Rng& rng) {
+  StreamResult out;
+  out.name = name;
+  for (const Atom& atom : q.atoms()) {
+    out.rows += db.Find(atom.relation)->NumRows();
+  }
+  out.updates = updates;
+
+  SensitivityCache cache;
+  TSensComputeOptions cached_options = options;
+
+  // Baseline: one from-scratch compute with stats, for the row count.
+  {
+    ExecContext ctx;
+    TSensComputeOptions full = options;
+    full.join.ctx = &ctx;
+    auto r = ComputeLocalSensitivity(q, db, full);
+    LSENS_CHECK(r.ok());
+    out.full_rows = static_cast<double>(TotalRows(ctx));
+  }
+
+  // Prime the cache (miss + state capture), then replay.
+  LSENS_CHECK(cache.Compute(q, db, cached_options).ok());
+  std::vector<double> repair_ns;
+  std::vector<double> repair_rows;
+  std::vector<double> full_ns;
+  for (long u = 0; u < updates; ++u) {
+    MutateOne(rng, q, db);
+    ExecContext ctx;
+    cached_options.join.ctx = &ctx;
+    WallTimer timer;
+    auto repaired = cache.Compute(q, db, cached_options);
+    double elapsed = timer.ElapsedSeconds();
+    LSENS_CHECK(repaired.ok());
+    repair_ns.push_back(elapsed * 1e9);
+    repair_rows.push_back(static_cast<double>(TotalRows(ctx)));
+    if (u % check_every == 0) {
+      WallTimer full_timer;
+      auto fresh = ComputeLocalSensitivity(q, db, options);
+      full_ns.push_back(full_timer.ElapsedSeconds() * 1e9);
+      LSENS_CHECK(fresh.ok());
+      // The incremental answer must be bit-identical to from-scratch.
+      LSENS_CHECK(repaired->local_sensitivity == fresh->local_sensitivity);
+      LSENS_CHECK(repaired->argmax_atom == fresh->argmax_atom);
+      for (size_t a = 0; a < fresh->atoms.size(); ++a) {
+        LSENS_CHECK(repaired->atoms[a].max_sensitivity ==
+                    fresh->atoms[a].max_sensitivity);
+        LSENS_CHECK(repaired->atoms[a].argmax == fresh->atoms[a].argmax);
+      }
+    }
+  }
+  out.repair_ns = bench::Median(repair_ns);
+  out.repair_rows = bench::Median(repair_rows);
+  out.full_ns = bench::Median(full_ns);
+  out.repairs = cache.stats().repairs;
+  out.fallbacks = cache.stats().fallback_stale +
+                  cache.stats().fallback_large_delta +
+                  cache.stats().fallback_unsupported;
+  return out;
+}
+
+Database MakeSyntheticDb(Rng& rng, const std::vector<std::string>& names,
+                         const std::vector<std::vector<std::string>>& cols,
+                         long rows, long domain) {
+  Database db;
+  for (size_t i = 0; i < names.size(); ++i) {
+    Relation* rel = db.AddRelation(names[i], cols[i]);
+    rel->Reserve(static_cast<size_t>(rows));
+    std::vector<Value> row(cols[i].size());
+    for (long r = 0; r < rows; ++r) {
+      for (Value& v : row) {
+        v = static_cast<Value>(
+            rng.NextBounded(static_cast<uint64_t>(domain)));
+      }
+      rel->AppendRow(row);
+    }
+  }
+  return db;
+}
+
+void PrintResult(const StreamResult& r) {
+  std::printf(
+      "%-12s %9zu rows  repair %10.0f ns/update  full %12.0f ns  "
+      "speedup %8.1fx  rows %7.0f vs %9.0f (%.3f%%)  repairs %" PRIu64
+      "  fallbacks %" PRIu64 "\n",
+      r.name.c_str(), r.rows, r.repair_ns, r.full_ns,
+      r.repair_ns > 0 ? r.full_ns / r.repair_ns : 0.0, r.repair_rows,
+      r.full_rows,
+      r.full_rows > 0 ? 100.0 * r.repair_rows / r.full_rows : 0.0, r.repairs,
+      r.fallbacks);
+}
+
+bool WriteJson(const std::vector<StreamResult>& results) {
+  const char* path = std::getenv("LSENS_BENCH_INC_JSON");
+  if (path == nullptr) path = "BENCH_incremental.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const StreamResult& r = results[i];
+    std::fprintf(
+        f,
+        "  {\"name\": \"%s\", \"rows\": %zu, \"updates\": %ld, "
+        "\"repair_ns_per_update\": %.1f, \"full_ns\": %.1f, "
+        "\"speedup\": %.2f, \"repair_rows_per_update\": %.1f, "
+        "\"full_rows\": %.1f, \"row_ratio\": %.6f, \"repairs\": %" PRIu64
+        ", \"fallbacks\": %" PRIu64 "}%s\n",
+        r.name.c_str(), r.rows, r.updates, r.repair_ns, r.full_ns,
+        r.repair_ns > 0 ? r.full_ns / r.repair_ns : 0.0, r.repair_rows,
+        r.full_rows, r.full_rows > 0 ? r.repair_rows / r.full_rows : 0.0,
+        r.repairs, r.fallbacks, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu entries)\n", path, results.size());
+  return true;
+}
+
+int Run() {
+  const long rows = bench::EnvInt("LSENS_INC_ROWS", 100000);
+  const long domain = bench::EnvInt("LSENS_INC_DOMAIN", 1000);
+  const long updates = bench::EnvInt("LSENS_INC_UPDATES", 200);
+  const long check_every =
+      std::max<long>(1, bench::EnvInt("LSENS_INC_CHECK_EVERY", 25));
+  const double tpch_scale = bench::EnvScales("LSENS_INC_TPCH_SCALE",
+                                             {0.02})[0];
+
+  bench::Banner("BENCH incremental",
+                "sensitivity maintenance under randomized insert/delete"
+                " streams: cache repair vs from-scratch recompute");
+  std::vector<StreamResult> results;
+  Rng rng(20200712);
+
+  {
+    // 4-atom path query (Algorithm 1 / path repair mode).
+    Database db = MakeSyntheticDb(
+        rng, {"P1", "P2", "P3", "P4"},
+        {{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}}, rows, domain);
+    ConjunctiveQuery q;
+    q.AddAtom(db, "P1", {"A", "B"});
+    q.AddAtom(db, "P2", {"B", "C"});
+    q.AddAtom(db, "P3", {"C", "D"});
+    q.AddAtom(db, "P4", {"D", "E"});
+    results.push_back(
+        ReplayStream("path4", q, db, {}, updates, check_every, rng));
+    PrintResult(results.back());
+  }
+  {
+    // Caterpillar join tree with distinct links per node: tree repair mode
+    // (the TSensOverGhd ⊥/⊤ tables, not the path chains).
+    Database db = MakeSyntheticDb(
+        rng, {"T1", "T2", "T3", "T4"},
+        {{"a", "b"}, {"b", "c", "f"}, {"c", "d"}, {"f", "g"}}, rows, domain);
+    ConjunctiveQuery q;
+    q.AddAtom(db, "T1", {"A", "B"});
+    q.AddAtom(db, "T2", {"B", "C", "F"});
+    q.AddAtom(db, "T3", {"C", "D"});
+    q.AddAtom(db, "T4", {"F", "G"});
+    results.push_back(
+        ReplayStream("acyclic", q, db, {}, updates, check_every, rng));
+    PrintResult(results.back());
+  }
+  {
+    // TPC-H q1 (the paper's path workload) at the configured scale.
+    TpchOptions topt;
+    topt.scale = tpch_scale;
+    Database db = MakeTpchDatabase(topt);
+    WorkloadQuery wq = MakeTpchQ1(db);
+    TSensComputeOptions options;
+    options.skip_atoms = wq.skip_atoms;
+    results.push_back(ReplayStream("tpch-q1", wq.query, db, options, updates,
+                                   check_every, rng));
+    PrintResult(results.back());
+  }
+
+  return WriteJson(results) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lsens
+
+int main() { return lsens::Run(); }

@@ -1,0 +1,205 @@
+#include "exec/dyn_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace lsens {
+
+DynTable::DynTable(AttributeSet attrs) : attrs_(std::move(attrs)) {
+  LSENS_CHECK_MSG(IsValidAttributeSet(attrs_),
+                  "DynTable attrs must be sorted and unique");
+}
+
+uint64_t DynTable::HashCols(std::span<const Value> row,
+                            std::span<const int> cols) const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    h = Mix64(h ^ static_cast<uint64_t>(row[static_cast<size_t>(c)]));
+  }
+  return h;
+}
+
+uint64_t DynTable::HashKey(std::span<const Value> key) const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (Value v : key) h = Mix64(h ^ static_cast<uint64_t>(v));
+  return h;
+}
+
+bool DynTable::KeyEquals(uint32_t row, std::span<const Value> key) const {
+  std::span<const Value> stored = RowValues(row);
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (stored[i] != key[i]) return false;
+  }
+  return true;
+}
+
+void DynTable::Load(const CountedRelation& rel) {
+  LSENS_CHECK(rel.attrs() == attrs_);
+  LSENS_CHECK_MSG(!rel.has_default(),
+                  "DynTable cannot represent a defaulted (top-k) relation");
+  data_.clear();
+  counts_.clear();
+  alive_.clear();
+  free_.clear();
+  primary_.clear();
+  for (Index& index : secondary_) index.map.clear();
+  live_rows_ = 0;
+  saturated_ = false;
+  data_.reserve(rel.NumRows() * arity());
+  counts_.reserve(rel.NumRows());
+  alive_.reserve(rel.NumRows());
+  primary_.reserve(rel.NumRows());
+  for (Index& index : secondary_) index.map.reserve(rel.NumRows());
+  for (size_t i = 0; i < rel.NumRows(); ++i) {
+    if (rel.CountAt(i).IsSaturated()) saturated_ = true;
+    InsertRow(rel.Row(i), rel.CountAt(i));
+  }
+}
+
+int DynTable::AddIndex(std::vector<int> cols) {
+  for (int c : cols) {
+    LSENS_CHECK(c >= 0 && static_cast<size_t>(c) < arity());
+  }
+  for (size_t i = 0; i < secondary_.size(); ++i) {
+    if (secondary_[i].cols == cols) return static_cast<int>(i);
+  }
+  secondary_.push_back(Index{std::move(cols), {}});
+  Index& index = secondary_.back();
+  ForEachRow([&](uint32_t r) { IndexInsert(index, r); });
+  return static_cast<int>(secondary_.size() - 1);
+}
+
+uint32_t DynTable::FindRow(std::span<const Value> key) const {
+  LSENS_CHECK(key.size() == arity());
+  auto [begin, end] = primary_.equal_range(HashKey(key));
+  for (auto it = begin; it != end; ++it) {
+    if (KeyEquals(it->second, key)) return it->second;
+  }
+  return kNoRow;
+}
+
+Count DynTable::Get(std::span<const Value> key) const {
+  uint32_t row = FindRow(key);
+  return row == kNoRow ? Count::Zero() : counts_[row];
+}
+
+uint32_t DynTable::InsertRow(std::span<const Value> key, Count c) {
+  uint32_t row;
+  if (!free_.empty()) {
+    row = free_.back();
+    free_.pop_back();
+    std::copy(key.begin(), key.end(),
+              data_.begin() + static_cast<size_t>(row) * arity());
+    counts_[row] = c;
+    alive_[row] = 1;
+  } else {
+    row = static_cast<uint32_t>(counts_.size());
+    data_.insert(data_.end(), key.begin(), key.end());
+    counts_.push_back(c);
+    alive_.push_back(1);
+  }
+  ++live_rows_;
+  primary_.emplace(HashKey(key), row);
+  for (Index& index : secondary_) IndexInsert(index, row);
+  return row;
+}
+
+void DynTable::EraseRow(uint32_t row) {
+  for (Index& index : secondary_) IndexErase(index, row);
+  std::span<const Value> key = RowValues(row);
+  auto [begin, end] = primary_.equal_range(HashKey(key));
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == row) {
+      primary_.erase(it);
+      break;
+    }
+  }
+  alive_[row] = 0;
+  counts_[row] = Count::Zero();
+  free_.push_back(row);
+  --live_rows_;
+}
+
+Count DynTable::Set(std::span<const Value> key, Count c) {
+  LSENS_CHECK(key.size() == arity());
+  if (c.IsSaturated()) saturated_ = true;
+  uint32_t row = FindRow(key);
+  if (row == kNoRow) {
+    if (!c.IsZero()) InsertRow(key, c);
+    return Count::Zero();
+  }
+  Count old = counts_[row];
+  if (c.IsZero()) {
+    EraseRow(row);
+  } else {
+    counts_[row] = c;
+  }
+  return old;
+}
+
+bool DynTable::Adjust(std::span<const Value> key, Count c, bool add) {
+  LSENS_CHECK(key.size() == arity());
+  if (c.IsZero()) return true;  // no-op; also keeps zero == absent intact
+  uint32_t row = FindRow(key);
+  Count old = row == kNoRow ? Count::Zero() : counts_[row];
+  if (add) {
+    Count updated = old + c;
+    if (updated.IsSaturated()) {
+      saturated_ = true;
+      return false;
+    }
+    if (row == kNoRow) {
+      InsertRow(key, updated);
+    } else {
+      counts_[row] = updated;
+    }
+    return true;
+  }
+  if (old < c) {
+    saturated_ = true;  // removing more copies than present: poisoned
+    return false;
+  }
+  Count updated = old.SaturatingSub(c);
+  if (updated.IsZero()) {
+    EraseRow(row);
+  } else {
+    counts_[row] = updated;
+  }
+  return true;
+}
+
+void DynTable::LookupIndex(int index_id, std::span<const Value> key,
+                           std::vector<uint32_t>* out) const {
+  const Index& index = secondary_[static_cast<size_t>(index_id)];
+  LSENS_CHECK(key.size() == index.cols.size());
+  auto [begin, end] = index.map.equal_range(HashKey(key));
+  for (auto it = begin; it != end; ++it) {
+    uint32_t row = it->second;
+    std::span<const Value> stored = RowValues(row);
+    bool match = true;
+    for (size_t i = 0; i < index.cols.size() && match; ++i) {
+      match = stored[static_cast<size_t>(index.cols[i])] == key[i];
+    }
+    if (match) out->push_back(row);
+  }
+}
+
+void DynTable::IndexInsert(Index& index, uint32_t row) {
+  index.map.emplace(HashCols(RowValues(row), index.cols), row);
+}
+
+void DynTable::IndexErase(Index& index, uint32_t row) {
+  auto [begin, end] =
+      index.map.equal_range(HashCols(RowValues(row), index.cols));
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == row) {
+      index.map.erase(it);
+      return;
+    }
+  }
+  LSENS_CHECK_MSG(false, "DynTable secondary index lost a row");
+}
+
+}  // namespace lsens

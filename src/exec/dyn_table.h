@@ -1,0 +1,122 @@
+#ifndef LSENS_EXEC_DYN_TABLE_H_
+#define LSENS_EXEC_DYN_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/count.h"
+#include "common/macros.h"
+#include "exec/counted_relation.h"
+#include "storage/attribute_set.h"
+
+namespace lsens {
+
+// An incrementally maintainable group table: the mutable counterpart of a
+// normalized CountedRelation, built for the incremental sensitivity
+// subsystem (sensitivity/incremental.h). Where CountedRelation is a sorted
+// immutable snapshot rebuilt by each operator, a DynTable supports point
+// upserts and erasures between snapshots:
+//
+//   - rows live in flat row-major storage with a free list (row ids are
+//     stable until the row is erased);
+//   - a primary hash index on the full key row answers point lookups and
+//     upserts in O(1);
+//   - secondary indexes on column subsets answer the two questions delta
+//     repair asks: "which groups are affected by this changed key?" and
+//     "which rows re-aggregate into this group?".
+//
+// Counts must stay exact for repair to be sound (x + y - y != x once
+// saturated), so any saturated count poisons the table; owners check
+// saturated() before repairing and fall back to full recomputation
+// (RepairInPlace in sensitivity/incremental.cc does exactly that).
+//
+// Indexes are unordered_multimaps over 64-bit key hashes with row-value
+// verification — simple and deletion-friendly, but pointer-chasing; a
+// flat open-addressing layout with tombstones is a known follow-up (see
+// ROADMAP open items).
+class DynTable {
+ public:
+  static constexpr uint32_t kNoRow = UINT32_MAX;
+
+  explicit DynTable(AttributeSet attrs);
+
+  const AttributeSet& attrs() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+  size_t num_rows() const { return live_rows_; }
+  bool saturated() const { return saturated_; }
+
+  // Replaces the contents with the rows of a normalized CountedRelation
+  // (same attrs; no default). Registered secondary indexes are rebuilt.
+  void Load(const CountedRelation& rel);
+
+  // Registers a secondary index on the given column positions (need not be
+  // sorted; lookups present keys in the same order). Re-registering an
+  // identical column list returns the existing id.
+  int AddIndex(std::vector<int> cols);
+
+  // Point lookup by full key row; Zero when absent.
+  Count Get(std::span<const Value> key) const;
+  uint32_t FindRow(std::span<const Value> key) const;
+
+  // Sets `key`'s count to `c`: inserts when absent, erases when `c` is
+  // zero. Returns the previous count.
+  Count Set(std::span<const Value> key, Count c);
+
+  // Adds (positive) or removes (negative) `c` copies: the signed
+  // adjustment sources apply per change-log entry. A zero `c` is a no-op.
+  // Returns false — leaving the table unchanged but flagged saturated —
+  // when the adjustment is not exactly representable: the count would
+  // saturate, or more copies are removed than present (a stale log).
+  bool Adjust(std::span<const Value> key, Count c, bool add);
+
+  // Appends the live row ids whose `index_id` columns equal `key`.
+  void LookupIndex(int index_id, std::span<const Value> key,
+                   std::vector<uint32_t>* out) const;
+
+  std::span<const Value> RowValues(uint32_t row) const {
+    return {data_.data() + static_cast<size_t>(row) * arity(), arity()};
+  }
+  Count RowCount(uint32_t row) const { return counts_[row]; }
+  bool RowLive(uint32_t row) const { return alive_[row] != 0; }
+
+  // Calls fn(row_id) for every live row.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (uint32_t r = 0; r < counts_.size(); ++r) {
+      if (alive_[r]) fn(r);
+    }
+  }
+
+ private:
+  struct Index {
+    std::vector<int> cols;
+    // Hash of the projected key -> row id; collisions resolved by
+    // verifying the actual row values on lookup.
+    std::unordered_multimap<uint64_t, uint32_t> map;
+  };
+
+  uint64_t HashCols(std::span<const Value> row,
+                    std::span<const int> cols) const;
+  uint64_t HashKey(std::span<const Value> key) const;
+  bool KeyEquals(uint32_t row, std::span<const Value> key) const;
+  uint32_t InsertRow(std::span<const Value> key, Count c);
+  void EraseRow(uint32_t row);
+  void IndexInsert(Index& index, uint32_t row);
+  void IndexErase(Index& index, uint32_t row);
+
+  AttributeSet attrs_;
+  std::vector<Value> data_;    // flat row-major, arity() stride
+  std::vector<Count> counts_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint32_t> free_;
+  size_t live_rows_ = 0;
+  bool saturated_ = false;
+  std::unordered_multimap<uint64_t, uint32_t> primary_;
+  std::vector<Index> secondary_;
+};
+
+}  // namespace lsens
+
+#endif  // LSENS_EXEC_DYN_TABLE_H_

@@ -1,0 +1,916 @@
+#include "sensitivity/incremental.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/timer.h"
+#include "exec/dyn_table.h"
+#include "exec/exec_context.h"
+#include "query/ghd.h"
+#include "query/join_tree.h"
+
+namespace lsens {
+
+// Internal machinery. The repairable state mirrors the two engines' data
+// flow as a DAG of group tables:
+//
+//   sources  S_a = γ_keep(σ_pred(R_a))           one per atom / position
+//   nodes    out = γ_group(driver ⋈ inputs...)   the ⊥/⊤ fold tables
+//
+// where every node's inputs are keyed on column subsets of its driver
+// (running intersection guarantees this for join trees), so a node's group
+// `g` re-aggregates as
+//
+//   out[g] = Σ_{driver rows r, r.group = g} cnt(r) · Π_i inputs[i][r.key_i]
+//
+// — the exact multiset of saturating products the from-scratch FoldJoin +
+// GroupBySum pipeline sums, which is why repaired tables are bit-identical
+// (saturating + and · are order-independent over a fixed multiset). A
+// repair pass applies the relations' row deltas to the sources, then walks
+// the nodes in evaluation order re-aggregating only groups reachable from
+// a changed key. Per-piece max/argmax trackers maintain the engines'
+// predicate-filtered MaxCount/ArgMaxRow (first — i.e. lexicographically
+// smallest — row attaining the max), falling back to a table rescan only
+// when the tracked argmax group itself decays.
+namespace incremental_detail {
+
+namespace {
+
+int ColOf(const AttributeSet& attrs, AttrId attr) {
+  auto it = std::lower_bound(attrs.begin(), attrs.end(), attr);
+  LSENS_CHECK(it != attrs.end() && *it == attr);
+  return static_cast<int>(it - attrs.begin());
+}
+
+std::vector<int> ColsOf(const AttributeSet& attrs, const AttributeSet& sub) {
+  std::vector<int> cols;
+  cols.reserve(sub.size());
+  for (AttrId a : sub) cols.push_back(ColOf(attrs, a));
+  return cols;
+}
+
+bool LexLess(std::span<const Value> a, std::span<const Value> b) {
+  return CompareRows(a, b) < 0;
+}
+
+}  // namespace
+
+// One max/argmax view of a node's table (or of the unit relation when
+// node < 0), filtered by an atom's predicates — the incremental stand-in
+// for the engines' `ApplyPredicates + MaxCount + ArgMaxRow` on one
+// multiplicity-table piece.
+struct Tracker {
+  int node = -1;
+  std::vector<std::pair<int, Predicate>> checks;  // (column, predicate)
+  Count max = Count::Zero();
+  std::vector<Value> argmax;  // lexmin row attaining max; empty when none
+  bool dirty = false;
+
+  bool Passes(std::span<const Value> key) const {
+    for (const auto& [col, pred] : checks) {
+      if (!pred.Eval(key[static_cast<size_t>(col)])) return false;
+    }
+    return true;
+  }
+};
+
+// Incrementally maintained S_a: the atom's relation filtered by its
+// predicates and projected (with multiplicities) onto `keep`.
+struct SourceState {
+  int atom_index = -1;
+  std::string relation;
+  AttributeSet keep;
+  std::vector<size_t> keep_cols;  // relation column per keep attr
+  std::vector<size_t> pred_cols;  // relation column per atom predicate
+  DynTable table;
+  uint64_t version = 0;
+};
+
+// Incrementally maintained fold table (one botjoin/topjoin level).
+struct NodeState {
+  struct Input {
+    int node = -1;                 // producer (already repaired this pass)
+    std::vector<int> driver_cols;  // driver columns forming its key
+    int driver_index = -1;         // secondary index on the driver for them
+  };
+
+  int source = -1;                // driver S table
+  std::vector<int> group_cols;    // driver columns forming the out key
+  int driver_group_index = -1;    // secondary index on the driver for them
+  std::vector<Input> inputs;
+  DynTable out;
+};
+
+struct RepairState {
+  enum class Mode { kConstant, kPath, kTree };
+
+  Mode mode = Mode::kConstant;
+  std::vector<SourceState> sources;
+  std::vector<NodeState> nodes;  // in evaluation order
+  // Result assembly: unit u covers atom assembly_atoms[u] with the pieces
+  // trackers[u] (engine piece order). Path mode assembles per chain
+  // position, tree mode per atom.
+  std::vector<int> assembly_atoms;
+  std::vector<std::vector<Tracker>> trackers;
+  // node -> (unit, piece) refs, for O(1) tracker updates during repair.
+  std::vector<std::vector<std::pair<size_t, size_t>>> node_trackers;
+};
+
+// The execution plan the facade would pick, from the cache's perspective.
+struct Plan {
+  RepairState::Mode mode = RepairState::Mode::kConstant;
+  bool supported = false;
+  std::string reason;            // when !supported
+  std::vector<int> order;        // kPath
+  std::optional<JoinTree> tree;  // kTree
+};
+
+namespace {
+
+Plan MakePlan(const ConjunctiveQuery& q, const TSensComputeOptions& options) {
+  Plan plan;
+  auto unsupported = [&](std::string reason) {
+    plan.supported = false;
+    plan.reason = std::move(reason);
+    return plan;
+  };
+  if (options.ghd != nullptr) return unsupported("explicit GHD supplied");
+  if (options.top_k > 0) return unsupported("top-k approximation");
+  if (options.keep_tables) return unsupported("keep_tables requested");
+  auto forest = BuildJoinForestGYO(q);
+  if (!forest.ok()) return unsupported("cyclic query (GHD search)");
+  if (options.prefer_path_algorithm) {
+    std::vector<int> order = PathOrder(q);
+    if (order.size() >= 2) {
+      plan.mode = RepairState::Mode::kPath;
+      plan.order = std::move(order);
+      plan.supported = true;
+      return plan;
+    }
+  }
+  if (q.num_atoms() == 1) {
+    // A single-atom query's sensitivity is data-independent (inserting one
+    // matching tuple always changes the count by exactly 1).
+    plan.mode = RepairState::Mode::kConstant;
+    plan.supported = true;
+    return plan;
+  }
+  if (forest->trees.size() != 1) {
+    return unsupported("disconnected query (cross-tree scale factors)");
+  }
+  const JoinTree& tree = forest->trees[0];
+  if (tree.size() != static_cast<size_t>(q.num_atoms())) {
+    return unsupported("join tree does not cover the query");
+  }
+  auto link_of = [&](int atom) {
+    return Intersect(q.atom(atom).VarSet(),
+                     q.atom(tree.Parent(atom)).VarSet());
+  };
+  for (int a : tree.members()) {
+    if (tree.Parent(a) != -1 && link_of(a).empty()) {
+      return unsupported("empty join-tree link");
+    }
+  }
+  // Every atom's multiplicity-table pieces (⊤(a) and the children's ⊥)
+  // must be pairwise attribute-disjoint, so T_a stays a cross product of
+  // maintained tables and its max factorizes over the per-piece trackers.
+  for (int a : tree.members()) {
+    std::vector<AttributeSet> piece_attrs;
+    if (tree.Parent(a) != -1) piece_attrs.push_back(link_of(a));
+    for (int c : tree.Children(a)) piece_attrs.push_back(link_of(c));
+    for (size_t i = 0; i < piece_attrs.size(); ++i) {
+      for (size_t j = i + 1; j < piece_attrs.size(); ++j) {
+        if (Intersects(piece_attrs[i], piece_attrs[j])) {
+          return unsupported("atom pieces share attributes (T_a would not"
+                             " factorize)");
+        }
+      }
+    }
+  }
+  plan.mode = RepairState::Mode::kTree;
+  plan.tree = tree;
+  plan.supported = true;
+  return plan;
+}
+
+SourceState MakeSource(const ConjunctiveQuery& q, int atom_index,
+                       AttributeSet keep) {
+  const Atom& atom = q.atom(atom_index);
+  SourceState src{atom_index, atom.relation, keep, {}, {}, DynTable(keep), 0};
+  src.keep_cols.reserve(keep.size());
+  for (AttrId a : keep) {
+    size_t col = 0;
+    while (atom.vars[col] != a) ++col;
+    src.keep_cols.push_back(col);
+  }
+  src.pred_cols.reserve(atom.predicates.size());
+  for (const Predicate& p : atom.predicates) {
+    size_t col = 0;
+    while (atom.vars[col] != p.var) ++col;
+    src.pred_cols.push_back(col);
+  }
+  return src;
+}
+
+Tracker MakeTracker(const ConjunctiveQuery& q, int atom_index, int node,
+                    const RepairState& state) {
+  Tracker t;
+  t.node = node;
+  if (node >= 0) {
+    const AttributeSet& attrs =
+        state.nodes[static_cast<size_t>(node)].out.attrs();
+    for (const Predicate& p : q.atom(atom_index).predicates) {
+      auto it = std::lower_bound(attrs.begin(), attrs.end(), p.var);
+      if (it != attrs.end() && *it == p.var) {
+        t.checks.emplace_back(static_cast<int>(it - attrs.begin()), p);
+      }
+    }
+  } else {
+    t.max = Count::One();  // the unit relation: one empty row, count 1
+    t.dirty = false;
+  }
+  return t;
+}
+
+// Full recomputation of a tracker from its table (also the initial fill).
+void RescanTracker(Tracker& t, const RepairState& state,
+                   uint64_t* rows_touched) {
+  if (t.node < 0) return;
+  const DynTable& table = state.nodes[static_cast<size_t>(t.node)].out;
+  t.max = Count::Zero();
+  t.argmax.clear();
+  table.ForEachRow([&](uint32_t r) {
+    ++*rows_touched;
+    std::span<const Value> key = table.RowValues(r);
+    if (!t.Passes(key)) return;
+    Count c = table.RowCount(r);
+    if (c > t.max) {
+      t.max = c;
+      t.argmax.assign(key.begin(), key.end());
+    } else if (c == t.max && !c.IsZero() && LexLess(key, t.argmax)) {
+      t.argmax.assign(key.begin(), key.end());
+    }
+  });
+  t.dirty = false;
+}
+
+// O(1) maintenance under one group change; marks dirty when only a rescan
+// can re-establish the engines' first-attaining-row tie-break.
+void UpdateTracker(Tracker& t, std::span<const Value> key, Count value) {
+  if (t.dirty || t.node < 0 || !t.Passes(key)) return;
+  if (value > t.max) {
+    t.max = value;
+    t.argmax.assign(key.begin(), key.end());
+    return;
+  }
+  if (!value.IsZero() && value == t.max) {
+    if (t.argmax.empty() || LexLess(key, t.argmax)) {
+      t.argmax.assign(key.begin(), key.end());
+    }
+    return;
+  }
+  // The tracked argmax group decreased below the recorded max: other
+  // attaining groups (if any) are unknown without a rescan.
+  if (!t.argmax.empty() && value < t.max &&
+      CompareRows(key, t.argmax) == 0) {
+    t.dirty = true;
+  }
+}
+
+void Project(std::span<const Value> row, const std::vector<int>& cols,
+             std::vector<Value>* out) {
+  out->clear();
+  for (int c : cols) out->push_back(row[static_cast<size_t>(c)]);
+}
+
+void SortUnique(std::vector<std::vector<Value>>* keys) {
+  std::sort(keys->begin(), keys->end());
+  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+}
+
+}  // namespace
+
+}  // namespace incremental_detail
+
+using incremental_detail::MakePlan;
+using incremental_detail::MakeSource;
+using incremental_detail::MakeTracker;
+using incremental_detail::NodeState;
+using incremental_detail::Plan;
+using incremental_detail::Project;
+using incremental_detail::RepairState;
+using incremental_detail::RescanTracker;
+using incremental_detail::SortUnique;
+using incremental_detail::SourceState;
+using incremental_detail::Tracker;
+using incremental_detail::UpdateTracker;
+
+struct SensitivityCache::Entry {
+  std::string key;
+  std::vector<std::string> relations;  // atom order (unique: no self-joins)
+  std::vector<uint64_t> versions;      // parallel to `relations`
+  SensitivityResult result;
+  std::unique_ptr<RepairState> state;  // null: memoize-only entry
+  std::string unsupported_reason;      // when state is null
+  uint64_t last_used = 0;
+};
+
+SensitivityCache::SensitivityCache(SensitivityCacheConfig config)
+    : config_(config) {
+  // At least the entry being inserted must survive an eviction sweep.
+  config_.max_entries = std::max<size_t>(1, config_.max_entries);
+  LSENS_CHECK(config_.changelog_capacity > 0);
+}
+
+SensitivityCache::~SensitivityCache() = default;
+
+void SensitivityCache::Clear() { entries_.clear(); }
+
+std::string SensitivityCache::Fingerprint(const ConjunctiveQuery& q,
+                                          const TSensComputeOptions& options) {
+  std::ostringstream out;
+  for (const Atom& atom : q.atoms()) {
+    out << atom.relation << '(';
+    for (AttrId v : atom.vars) out << v << ',';
+    out << ')';
+    for (const Predicate& p : atom.predicates) {
+      out << '[' << p.var << ' ' << static_cast<int>(p.op) << ' ' << p.rhs
+          << ']';
+    }
+    out << ';';
+  }
+  out << "|top_k=" << options.top_k << "|keep=" << options.keep_tables
+      << "|path=" << options.prefer_path_algorithm;
+  std::vector<int> skips = options.skip_atoms;
+  std::sort(skips.begin(), skips.end());
+  skips.erase(std::unique(skips.begin(), skips.end()), skips.end());
+  out << "|skip=";
+  for (int a : skips) out << a << ',';
+  out << "|ghd=";
+  if (options.ghd != nullptr) {
+    for (const GhdBag& bag : options.ghd->bags) {
+      out << '{';
+      for (int a : bag.atom_indices) out << a << ',';
+      out << '}';
+    }
+  }
+  return out.str();
+}
+
+bool SensitivityCache::RepairSupported(const ConjunctiveQuery& q,
+                                       const TSensComputeOptions& options,
+                                       std::string* reason) {
+  Plan plan = MakePlan(q, options);
+  if (!plan.supported && reason != nullptr) *reason = plan.reason;
+  return plan.supported;
+}
+
+namespace {
+
+// Builds the repairable state for a supported plan from the engine capture
+// (the exact tables the from-scratch answer was computed from).
+std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
+                                        const Plan& plan,
+                                        TSensCapture capture) {
+  auto state = std::make_unique<RepairState>();
+  state->mode = plan.mode;
+  if (plan.mode == RepairState::Mode::kConstant) return state;
+
+  if (plan.mode == RepairState::Mode::kPath) {
+    const std::vector<int>& order = plan.order;
+    const size_t m = order.size();
+    std::vector<AttrId> link(m - 1, kInvalidAttr);
+    for (size_t i = 0; i + 1 < m; ++i) {
+      AttributeSet common = Intersect(q.atom(order[i]).VarSet(),
+                                      q.atom(order[i + 1]).VarSet());
+      LSENS_CHECK(common.size() == 1);
+      link[i] = common[0];
+    }
+    for (size_t i = 0; i < m; ++i) {
+      AttributeSet keep;
+      if (i > 0) keep.push_back(link[i - 1]);
+      if (i + 1 < m) keep.push_back(link[i]);
+      keep = MakeAttributeSet(std::move(keep));
+      state->sources.push_back(MakeSource(q, order[i], std::move(keep)));
+      LSENS_CHECK(capture.s[i].attrs() == state->sources[i].keep);
+      state->sources[i].table.Load(capture.s[i]);
+    }
+    // Nodes: the two chains, each in its dependency order. topjoin[i] is
+    // driven by S_{i-1} (grouped on link[i-1]); botjoin[i] by S_i.
+    std::vector<int> top_node(m, -1);
+    std::vector<int> bot_node(m, -1);
+    auto add_node = [&](int source, AttrId group_attr,
+                        std::optional<NodeState::Input> input,
+                        const CountedRelation& snapshot) {
+      SourceState& driver = state->sources[static_cast<size_t>(source)];
+      NodeState node{source,
+                     incremental_detail::ColsOf(driver.keep, {group_attr}),
+                     -1,
+                     {},
+                     DynTable(AttributeSet{group_attr})};
+      node.driver_group_index = driver.table.AddIndex(node.group_cols);
+      if (input.has_value()) {
+        input->driver_index = driver.table.AddIndex(input->driver_cols);
+        node.inputs.push_back(std::move(*input));
+      }
+      LSENS_CHECK(snapshot.attrs() == node.out.attrs());
+      node.out.Load(snapshot);
+      state->nodes.push_back(std::move(node));
+      return static_cast<int>(state->nodes.size() - 1);
+    };
+    for (size_t i = 1; i < m; ++i) {
+      std::optional<NodeState::Input> input;
+      if (i >= 2) {
+        input = NodeState::Input{
+            top_node[i - 1],
+            incremental_detail::ColsOf(state->sources[i - 1].keep,
+                                       {link[i - 2]}),
+            -1};
+      }
+      top_node[i] = add_node(static_cast<int>(i - 1), link[i - 1],
+                             std::move(input), *capture.top[i]);
+    }
+    for (size_t i = m - 1; i >= 1; --i) {
+      std::optional<NodeState::Input> input;
+      if (i + 1 < m) {
+        input = NodeState::Input{
+            bot_node[i + 1],
+            incremental_detail::ColsOf(state->sources[i].keep, {link[i]}),
+            -1};
+      }
+      bot_node[i] = add_node(static_cast<int>(i), link[i - 1],
+                             std::move(input), *capture.bot[i]);
+    }
+    // Assembly: position i multiplies the filtered maxima of ⊤_i (topjoin
+    // at i; unit at the left end) and ⊥_{i+1} (botjoin; unit at the right).
+    state->assembly_atoms = order;
+    state->trackers.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      state->trackers[i].push_back(MakeTracker(
+          q, order[i], i == 0 ? -1 : top_node[i], *state));
+      state->trackers[i].push_back(MakeTracker(
+          q, order[i], i + 1 == m ? -1 : bot_node[i + 1], *state));
+    }
+  } else {
+    const JoinTree& tree = *plan.tree;
+    const int num_atoms = q.num_atoms();
+    auto link_of = [&](int atom) {
+      return Intersect(q.atom(atom).VarSet(),
+                       q.atom(tree.Parent(atom)).VarSet());
+    };
+    for (int a = 0; a < num_atoms; ++a) {
+      state->sources.push_back(MakeSource(q, a, q.SharedVarsOf(a)));
+      LSENS_CHECK(capture.s[static_cast<size_t>(a)].attrs() ==
+                  state->sources[static_cast<size_t>(a)].keep);
+      state->sources[static_cast<size_t>(a)].table.Load(
+          capture.s[static_cast<size_t>(a)]);
+    }
+    std::vector<int> bot_node(static_cast<size_t>(num_atoms), -1);
+    std::vector<int> top_node(static_cast<size_t>(num_atoms), -1);
+    auto add_node = [&](int source, const AttributeSet& group,
+                        std::vector<NodeState::Input> inputs,
+                        const CountedRelation& snapshot) {
+      SourceState& driver = state->sources[static_cast<size_t>(source)];
+      NodeState node{source, incremental_detail::ColsOf(driver.keep, group),
+                     -1, std::move(inputs), DynTable(group)};
+      node.driver_group_index = driver.table.AddIndex(node.group_cols);
+      for (NodeState::Input& input : node.inputs) {
+        input.driver_index = driver.table.AddIndex(input.driver_cols);
+      }
+      LSENS_CHECK(snapshot.attrs() == node.out.attrs());
+      node.out.Load(snapshot);
+      state->nodes.push_back(std::move(node));
+      return static_cast<int>(state->nodes.size() - 1);
+    };
+    // ⊥ in post-order: ⊥(v) = γ_link(v)(S_v ⋈ {⊥(c)}), driven by S_v.
+    for (int v : tree.PostOrder()) {
+      if (tree.Parent(v) == -1) continue;
+      const AttributeSet& driver_keep =
+          state->sources[static_cast<size_t>(v)].keep;
+      std::vector<NodeState::Input> inputs;
+      for (int c : tree.Children(v)) {
+        inputs.push_back(NodeState::Input{
+            bot_node[static_cast<size_t>(c)],
+            incremental_detail::ColsOf(driver_keep, link_of(c)), -1});
+      }
+      bot_node[static_cast<size_t>(v)] =
+          add_node(v, link_of(v), std::move(inputs),
+                   *capture.bot[static_cast<size_t>(v)]);
+    }
+    // ⊤ in pre-order: ⊤(v) = γ_link(v)(S_p ⋈ ⊤(p)? ⋈ {⊥(sib)}), driven by
+    // the parent's S.
+    for (int v : tree.PreOrder()) {
+      int p = tree.Parent(v);
+      if (p == -1) continue;
+      const AttributeSet& driver_keep =
+          state->sources[static_cast<size_t>(p)].keep;
+      std::vector<NodeState::Input> inputs;
+      if (tree.Parent(p) != -1) {
+        inputs.push_back(NodeState::Input{
+            top_node[static_cast<size_t>(p)],
+            incremental_detail::ColsOf(driver_keep, link_of(p)), -1});
+      }
+      for (int sib : tree.Neighbors(v)) {
+        inputs.push_back(NodeState::Input{
+            bot_node[static_cast<size_t>(sib)],
+            incremental_detail::ColsOf(driver_keep, link_of(sib)), -1});
+      }
+      top_node[static_cast<size_t>(v)] =
+          add_node(p, link_of(v), std::move(inputs),
+                   *capture.top[static_cast<size_t>(v)]);
+    }
+    // Assembly: atom a's pieces are ⊤(a) (when non-root) then its
+    // children's ⊥, exactly the engine's piece order.
+    state->assembly_atoms.resize(static_cast<size_t>(num_atoms));
+    state->trackers.resize(static_cast<size_t>(num_atoms));
+    for (int a = 0; a < num_atoms; ++a) {
+      state->assembly_atoms[static_cast<size_t>(a)] = a;
+      if (tree.Parent(a) != -1) {
+        state->trackers[static_cast<size_t>(a)].push_back(
+            MakeTracker(q, a, top_node[static_cast<size_t>(a)], *state));
+      }
+      for (int c : tree.Children(a)) {
+        state->trackers[static_cast<size_t>(a)].push_back(
+            MakeTracker(q, a, bot_node[static_cast<size_t>(c)], *state));
+      }
+    }
+  }
+
+  // Initial tracker fill: one pass per piece over its (freshly loaded)
+  // table, so the first repair starts from clean trackers.
+  uint64_t ignored = 0;
+  state->node_trackers.resize(state->nodes.size());
+  for (size_t u = 0; u < state->trackers.size(); ++u) {
+    for (size_t p = 0; p < state->trackers[u].size(); ++p) {
+      Tracker& t = state->trackers[u][p];
+      if (t.node >= 0) {
+        state->node_trackers[static_cast<size_t>(t.node)].emplace_back(u, p);
+        RescanTracker(t, *state, &ignored);
+      }
+    }
+  }
+  return state;
+}
+
+bool ContainsAtom(const std::vector<int>& skip_atoms, int atom) {
+  return std::find(skip_atoms.begin(), skip_atoms.end(), atom) !=
+         skip_atoms.end();
+}
+
+// Rebuilds the SensitivityResult from the maintained trackers, replicating
+// each engine's assembly and winner tie-breaking exactly.
+SensitivityResult Assemble(RepairState& state, const ConjunctiveQuery& q,
+                           const TSensComputeOptions& options,
+                           uint64_t* rows_touched) {
+  SensitivityResult result;
+  result.local_sensitivity = Count::Zero();
+  result.atoms.resize(static_cast<size_t>(q.num_atoms()));
+  for (size_t u = 0; u < state.assembly_atoms.size(); ++u) {
+    const int a = state.assembly_atoms[u];
+    AtomSensitivity& out = result.atoms[static_cast<size_t>(a)];
+    out.atom_index = a;
+    out.relation = q.atom(a).relation;
+    out.table_attrs = q.SharedVarsOf(a);
+    out.free_vars = q.ExclusiveVarsOf(a);
+    out.max_sensitivity = Count::Zero();
+    if (ContainsAtom(options.skip_atoms, a)) {
+      out.skipped = true;
+      continue;
+    }
+    Count product = Count::One();
+    for (Tracker& t : state.trackers[u]) {
+      if (t.dirty) RescanTracker(t, state, rows_touched);
+      product *= t.max;
+    }
+    out.max_sensitivity = product;
+    if (!product.IsZero()) {
+      std::vector<Value> argmax(out.table_attrs.size(), 0);
+      for (const Tracker& t : state.trackers[u]) {
+        if (t.node < 0) continue;  // unit piece carries no values
+        const AttributeSet& attrs =
+            state.nodes[static_cast<size_t>(t.node)].out.attrs();
+        LSENS_CHECK(t.argmax.size() == attrs.size());
+        for (size_t j = 0; j < attrs.size(); ++j) {
+          auto it = std::lower_bound(out.table_attrs.begin(),
+                                     out.table_attrs.end(), attrs[j]);
+          LSENS_CHECK(it != out.table_attrs.end() && *it == attrs[j]);
+          argmax[static_cast<size_t>(it - out.table_attrs.begin())] =
+              t.argmax[j];
+        }
+      }
+      out.argmax = std::move(argmax);
+    }
+  }
+  // Winner reduction. The path engine walks chain positions and skips
+  // skipped atoms explicitly; the tree engine walks atoms and relies on
+  // their zero maxima. Both are replicated verbatim.
+  if (state.mode == RepairState::Mode::kPath) {
+    for (int a : state.assembly_atoms) {
+      const AtomSensitivity& out = result.atoms[static_cast<size_t>(a)];
+      if (out.skipped) continue;
+      if (out.max_sensitivity > result.local_sensitivity ||
+          (result.argmax_atom == -1 && !out.max_sensitivity.IsZero())) {
+        result.local_sensitivity = out.max_sensitivity;
+        result.argmax_atom = a;
+      }
+    }
+  } else {
+    for (int a = 0; a < q.num_atoms(); ++a) {
+      const AtomSensitivity& out = result.atoms[static_cast<size_t>(a)];
+      if (out.max_sensitivity > result.local_sensitivity ||
+          (result.argmax_atom == -1 && !out.max_sensitivity.IsZero())) {
+        result.local_sensitivity = out.max_sensitivity;
+        result.argmax_atom = a;
+      }
+    }
+  }
+  return result;
+}
+
+// Applies the pending change-log deltas to `state`. Returns false when the
+// state became unrepairable mid-flight (saturation / inconsistent log) —
+// the caller must discard and rebuild. On success `delta_rows` and
+// `rows_touched` receive the work accounting.
+bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
+                   const Database& db, uint64_t* delta_rows,
+                   uint64_t* rows_touched) {
+  // 0. A poisoned table (a saturated count was stored or an adjustment
+  // was inexact) makes repair arithmetic untrustworthy: rebuild instead.
+  for (const SourceState& src : state.sources) {
+    if (src.table.saturated()) return false;
+  }
+  for (const NodeState& node : state.nodes) {
+    if (node.out.saturated()) return false;
+  }
+
+  // 1. Sources: apply the row-level deltas, collecting the touched keys.
+  std::vector<std::vector<std::vector<Value>>> source_changed(
+      state.sources.size());
+  std::vector<RowChange> changes;
+  std::vector<Value> key;
+  for (size_t si = 0; si < state.sources.size(); ++si) {
+    SourceState& src = state.sources[si];
+    const Relation* rel = db.Find(src.relation);
+    if (rel == nullptr) return false;
+    changes.clear();
+    if (!rel->CollectChangesSince(src.version, &changes)) return false;
+    *delta_rows += changes.size();
+    const std::vector<Predicate>& preds = q.atom(src.atom_index).predicates;
+    for (const RowChange& ch : changes) {
+      bool pass = true;
+      for (size_t p = 0; p < preds.size() && pass; ++p) {
+        pass = preds[p].Eval(ch.row[src.pred_cols[p]]);
+      }
+      if (!pass) continue;
+      key.clear();
+      for (size_t col : src.keep_cols) key.push_back(ch.row[col]);
+      if (!src.table.Adjust(key, Count::One(), ch.insert)) return false;
+      source_changed[si].push_back(key);
+    }
+    src.version = rel->version();
+    SortUnique(&source_changed[si]);
+  }
+
+  // 2. Nodes, in evaluation order: collect the affected output groups
+  // (directly from driver changes, and via driver-index lookups from
+  // changed input keys), then re-aggregate each from the current inputs.
+  std::vector<std::vector<std::vector<Value>>> node_changed(
+      state.nodes.size());
+  std::vector<uint32_t> rows;
+  std::vector<Value> lookup_key;
+  for (size_t ni = 0; ni < state.nodes.size(); ++ni) {
+    NodeState& node = state.nodes[ni];
+    const DynTable& driver =
+        state.sources[static_cast<size_t>(node.source)].table;
+    std::vector<std::vector<Value>> affected;
+    for (const std::vector<Value>& changed :
+         source_changed[static_cast<size_t>(node.source)]) {
+      Project(changed, node.group_cols, &key);
+      affected.push_back(key);
+    }
+    for (const NodeState::Input& input : node.inputs) {
+      for (const std::vector<Value>& changed :
+           node_changed[static_cast<size_t>(input.node)]) {
+        rows.clear();
+        driver.LookupIndex(input.driver_index, changed, &rows);
+        *rows_touched += rows.size();
+        for (uint32_t r : rows) {
+          Project(driver.RowValues(r), node.group_cols, &key);
+          affected.push_back(key);
+        }
+      }
+    }
+    SortUnique(&affected);
+    for (const std::vector<Value>& g : affected) {
+      rows.clear();
+      driver.LookupIndex(node.driver_group_index, g, &rows);
+      *rows_touched += rows.size() + 1;
+      Count sum = Count::Zero();
+      for (uint32_t r : rows) {
+        std::span<const Value> row = driver.RowValues(r);
+        Count term = driver.RowCount(r);
+        for (const NodeState::Input& input : node.inputs) {
+          Project(row, input.driver_cols, &lookup_key);
+          term *= state.nodes[static_cast<size_t>(input.node)].out.Get(
+              lookup_key);
+          if (term.IsZero()) break;
+        }
+        sum += term;
+      }
+      Count old = node.out.Set(g, sum);
+      if (old != sum) {
+        node_changed[ni].push_back(g);
+        for (const auto& [u, p] : state.node_trackers[ni]) {
+          UpdateTracker(state.trackers[u][p], g, sum);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<SensitivityResult> SensitivityCache::Compute(
+    const ConjunctiveQuery& q, Database& db,
+    const TSensComputeOptions& options_in) {
+  // The capture hook belongs to the cache here: a hit or repair never runs
+  // an engine, so a caller-supplied capture could not be honored
+  // consistently. Strip it up front instead of filling it sometimes.
+  TSensComputeOptions options = options_in;
+  options.capture = nullptr;
+  ExecContext& ctx = ResolveExecContext(options.join.ctx);
+  WallTimer timer;
+  const std::string key = Fingerprint(q, options);
+
+  Entry* entry = nullptr;
+  for (const auto& e : entries_) {
+    if (e->key == key) {
+      entry = e.get();
+      break;
+    }
+  }
+
+  auto current_versions =
+      [&](const std::vector<std::string>& relations)
+      -> std::optional<std::vector<uint64_t>> {
+    std::vector<uint64_t> versions;
+    versions.reserve(relations.size());
+    for (const std::string& name : relations) {
+      const Relation* rel = db.Find(name);
+      if (rel == nullptr) return std::nullopt;
+      versions.push_back(rel->version());
+    }
+    return versions;
+  };
+
+  if (entry != nullptr) {
+    entry->last_used = ++tick_;
+    std::optional<std::vector<uint64_t>> versions =
+        current_versions(entry->relations);
+    // A constant-mode result is data-independent: any version is a hit.
+    const bool constant =
+        entry->state != nullptr &&
+        entry->state->mode == RepairState::Mode::kConstant;
+    if (versions.has_value() && (constant || *versions == entry->versions)) {
+      ++stats_.hits;
+      ctx.Record("cache.hit", 0, 0, 0, timer.ElapsedSeconds());
+      return entry->result;
+    }
+    if (versions.has_value() && entry->state != nullptr) {
+      // Delta-size / staleness precheck before touching any state.
+      size_t total_changes = 0;
+      size_t total_rows = 0;
+      bool stale = false;
+      for (const SourceState& src : entry->state->sources) {
+        const Relation* rel = db.Find(src.relation);
+        LSENS_CHECK(rel != nullptr);  // current_versions found it
+        size_t n = rel->NumChangesSince(src.version);
+        if (n == SIZE_MAX) {
+          stale = true;
+          break;
+        }
+        total_changes += n;
+        total_rows += rel->NumRows();
+      }
+      if (stale) {
+        ++stats_.fallback_stale;
+      } else if (total_changes >
+                 std::max<size_t>(1, static_cast<size_t>(
+                                         config_.max_delta_fraction *
+                                         static_cast<double>(total_rows)))) {
+        ++stats_.fallback_large_delta;
+      } else {
+        uint64_t delta_rows = 0;
+        uint64_t rows_touched = 0;
+        if (RepairInPlace(*entry->state, q, db, &delta_rows, &rows_touched)) {
+          entry->result =
+              Assemble(*entry->state, q, options, &rows_touched);
+          entry->versions = *std::move(versions);
+          ++stats_.repairs;
+          stats_.delta_rows += delta_rows;
+          stats_.repair_rows += rows_touched;
+          ctx.Record("cache.repair", delta_rows, rows_touched, 0,
+                     timer.ElapsedSeconds());
+          return entry->result;
+        }
+        // State poisoned mid-repair (saturation / inconsistent log):
+        // discard and rebuild below.
+        entry->state.reset();
+        ++stats_.fallback_stale;
+      }
+    } else if (versions.has_value()) {
+      ++stats_.fallback_unsupported;
+    }
+  }
+
+  // Full compute (first sight, or fallback), capturing repairable state
+  // when the plan supports it.
+  Plan plan = MakePlan(q, options);
+  std::unique_ptr<RepairState> state;
+  auto run_full = [&]() -> StatusOr<SensitivityResult> {
+    if (!plan.supported || plan.mode == RepairState::Mode::kConstant) {
+      auto r = ComputeLocalSensitivity(q, db, options);
+      if (r.ok() && plan.supported) {
+        state = std::make_unique<RepairState>();  // kConstant
+      }
+      return r;
+    }
+    TSensCapture capture;
+    TSensComputeOptions run = options;
+    run.capture = &capture;
+    StatusOr<SensitivityResult> r =
+        plan.mode == RepairState::Mode::kPath
+            ? TSensPath(q, plan.order, db, run)
+            : TSensOverGhd(q, MakeTrivialGhd(q, JoinForest{{*plan.tree}}),
+                           db, run);
+    if (r.ok()) {
+      state = BuildState(q, plan, std::move(capture));
+      // Seed the source versions and install change logs so the next call
+      // can pull deltas.
+      for (SourceState& src : state->sources) {
+        Relation* rel = db.Find(src.relation);
+        LSENS_CHECK(rel != nullptr);
+        if (!rel->change_log_enabled()) {
+          rel->EnableChangeLog(config_.changelog_capacity);
+        }
+        src.version = rel->version();
+      }
+    }
+    return r;
+  };
+  StatusOr<SensitivityResult> computed = run_full();
+  if (!computed.ok()) return computed.status();
+
+  std::vector<std::string> relations;
+  relations.reserve(static_cast<size_t>(q.num_atoms()));
+  for (const Atom& atom : q.atoms()) relations.push_back(atom.relation);
+  std::optional<std::vector<uint64_t>> versions = current_versions(relations);
+  LSENS_CHECK(versions.has_value());  // the engine just read them
+
+  if (entry == nullptr) {
+    ++stats_.misses;
+    entries_.push_back(std::make_unique<Entry>());
+    entry = entries_.back().get();
+    entry->key = key;
+    entry->last_used = ++tick_;
+    if (entries_.size() > config_.max_entries) {
+      size_t evict = 0;
+      for (size_t i = 1; i + 1 < entries_.size(); ++i) {
+        if (entries_[i]->last_used < entries_[evict]->last_used) evict = i;
+      }
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(evict));
+      entry = entries_.back().get();
+    }
+    ctx.Record("cache.miss", 0, 0, 0, timer.ElapsedSeconds());
+  } else {
+    ctx.Record("cache.fallback", 0, 0, 0, timer.ElapsedSeconds());
+  }
+  entry->relations = std::move(relations);
+  entry->versions = *std::move(versions);
+  entry->result = *std::move(computed);
+  entry->state = std::move(state);
+  entry->unsupported_reason = plan.supported ? "" : plan.reason;
+
+  // Cross-check at capture time: the assembled-from-trackers result must
+  // equal the engine's, so every later repair starts from verified state.
+  if (entry->state != nullptr &&
+      entry->state->mode != RepairState::Mode::kConstant) {
+    uint64_t ignored = 0;
+    SensitivityResult assembled =
+        Assemble(*entry->state, q, options, &ignored);
+    LSENS_CHECK(assembled.local_sensitivity ==
+                entry->result.local_sensitivity);
+    LSENS_CHECK(assembled.argmax_atom == entry->result.argmax_atom);
+    for (size_t a = 0; a < assembled.atoms.size(); ++a) {
+      LSENS_CHECK(assembled.atoms[a].max_sensitivity ==
+                  entry->result.atoms[a].max_sensitivity);
+      LSENS_CHECK(assembled.atoms[a].argmax == entry->result.atoms[a].argmax);
+    }
+  }
+  return entry->result;
+}
+
+}  // namespace lsens

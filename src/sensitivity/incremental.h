@@ -1,0 +1,110 @@
+#ifndef LSENS_SENSITIVITY_INCREMENTAL_H_
+#define LSENS_SENSITIVITY_INCREMENTAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "sensitivity/tsens.h"
+#include "storage/database.h"
+
+namespace lsens {
+
+// Tuning knobs for SensitivityCache.
+struct SensitivityCacheConfig {
+  // Change-log capacity the cache installs on every relation a cached
+  // query reads (only when the relation is not already logging). Deltas
+  // larger than the retained window force a full recompute.
+  size_t changelog_capacity = 8192;
+
+  // Repair is only attempted when the pending change count is at most this
+  // fraction of the query's current total rows; past it a from-scratch
+  // recompute is assumed cheaper than group-by-group patching.
+  double max_delta_fraction = 0.05;
+
+  // Cached (query, options) entries kept; least-recently-used beyond this.
+  size_t max_entries = 16;
+};
+
+// Counter block exposed for tests and reporting. The same events are also
+// recorded as pseudo-operators on the caller's ExecContext ("cache.hit",
+// "cache.repair", "cache.miss", "cache.fallback") so RenderExecStats shows
+// cache behavior next to the join kernels.
+struct SensitivityCacheStats {
+  uint64_t hits = 0;     // versions matched: cached result returned as-is
+  uint64_t repairs = 0;  // delta-repaired and returned
+  uint64_t misses = 0;   // first sight of this (query, options)
+  uint64_t fallback_stale = 0;        // change log could not answer
+  uint64_t fallback_large_delta = 0;  // delta over max_delta_fraction
+  uint64_t fallback_unsupported = 0;  // shape not repairable, recomputed
+  uint64_t delta_rows = 0;   // change-log entries consumed by repairs
+  uint64_t repair_rows = 0;  // rows touched by repairs (incl. rescans)
+};
+
+// Memoizes ComputeLocalSensitivity results keyed by (query fingerprint,
+// per-relation versions) and — for the supported query shapes — keeps the
+// engine's internal tables (per-atom projections S_a, the ⊥/⊤ fold chains)
+// in incrementally repairable form. When the underlying relations change
+// between calls, the cache pulls the row-level delta from each relation's
+// change log and re-aggregates only the affected join-key groups instead
+// of rebuilding every table, falling back to a full recompute when the
+// delta is large, the log window was exceeded, or the query shape is not
+// repairable (cyclic queries, explicit GHDs, top-k approximation,
+// keep_tables, disconnected queries, or atoms whose multiplicity-table
+// pieces share attributes). Results are bit-identical to the from-scratch
+// engines in every case.
+//
+// A cache instance serves one Database: relations are addressed by name
+// and validated by version, so feeding relations of equal names/versions
+// from a different database is undefined. Not thread-safe; use one cache
+// per serving thread (results are deterministic, so caches never disagree).
+class SensitivityCache {
+ public:
+  explicit SensitivityCache(SensitivityCacheConfig config = {});
+  ~SensitivityCache();
+  SensitivityCache(const SensitivityCache&) = delete;
+  SensitivityCache& operator=(const SensitivityCache&) = delete;
+
+  // Compute-or-reuse LS(Q, D). `db` is non-const only so the cache can
+  // install change logs on the query's relations; contents are never
+  // modified. `options.join` supplies the stats context and thread count
+  // for full computes exactly as the facade does. `options.capture` is
+  // ignored (the hook belongs to the cache: hits and repairs never run an
+  // engine, so it could not be filled consistently).
+  StatusOr<SensitivityResult> Compute(const ConjunctiveQuery& q, Database& db,
+                                      const TSensComputeOptions& options = {});
+
+  const SensitivityCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+  // Drops every entry (stats are kept).
+  void Clear();
+
+  // Canonical fingerprint of (query, result-affecting options); exposed
+  // for tests. Execution knobs (threads, ctx) are excluded — results are
+  // bit-identical across them.
+  static std::string Fingerprint(const ConjunctiveQuery& q,
+                                 const TSensComputeOptions& options);
+
+  // True when Compute would maintain repairable state for this query
+  // shape (exposed for tests; reason receives a short explanation when
+  // false and may be null).
+  static bool RepairSupported(const ConjunctiveQuery& q,
+                              const TSensComputeOptions& options,
+                              std::string* reason = nullptr);
+
+ private:
+  struct Entry;
+
+  SensitivityCacheConfig config_;
+  SensitivityCacheStats stats_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // LRU by last_used tick
+  uint64_t tick_ = 0;
+};
+
+}  // namespace lsens
+
+#endif  // LSENS_SENSITIVITY_INCREMENTAL_H_

@@ -326,6 +326,11 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       result.argmax_atom = a;
     }
   }
+  if (options.capture != nullptr) {
+    options.capture->s = std::move(s);
+    options.capture->bot = std::move(bot_full);
+    options.capture->top = std::move(top_full);
+  }
   return result;
 }
 

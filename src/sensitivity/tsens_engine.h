@@ -1,6 +1,7 @@
 #ifndef LSENS_SENSITIVITY_TSENS_ENGINE_H_
 #define LSENS_SENSITIVITY_TSENS_ENGINE_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -10,6 +11,20 @@
 #include "storage/database.h"
 
 namespace lsens {
+
+// Internal engine state exported for the incremental sensitivity subsystem
+// (sensitivity/incremental.h) when TSensOptions::capture is set: the
+// per-atom projections and the untruncated fold tables the result was
+// derived from, so a cache can repair them under updates instead of
+// rebuilding. Indexing follows the producing engine: TSensOverGhd fills
+// `s` per atom and `bot`/`top` per bag; TSensPath fills all three per
+// chain position (bot[i] = botjoin[i], top[i] = topjoin[i], positions
+// 1..m-1; index 0 stays disengaged).
+struct TSensCapture {
+  std::vector<CountedRelation> s;
+  std::vector<std::optional<CountedRelation>> bot;
+  std::vector<std::optional<CountedRelation>> top;
+};
 
 // Options shared by all TSens algorithm variants.
 struct TSensOptions {
@@ -36,6 +51,12 @@ struct TSensOptions {
   // paper skips Lineitem in q3 this way). Skipped atoms report
   // max_sensitivity 0 and do not participate in the argmax.
   std::vector<int> skip_atoms;
+
+  // When non-null, the engine additionally exports its internal tables
+  // here (copies made after the run; the result is unaffected). Used by
+  // SensitivityCache to seed its repairable state from the exact tables
+  // the from-scratch answer was computed from.
+  TSensCapture* capture = nullptr;
 };
 
 // TSens over a generalized hypertree decomposition (Algorithm 2 and its

@@ -212,6 +212,17 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
       result.argmax_atom = atom_index;
     }
   }
+  if (options.capture != nullptr) {
+    options.capture->s = std::move(s);
+    options.capture->top.clear();
+    options.capture->bot.clear();
+    options.capture->top.resize(m);
+    options.capture->bot.resize(m);
+    for (size_t i = 1; i < m; ++i) {
+      options.capture->top[i] = std::move(topjoin[i]);
+      options.capture->bot[i] = std::move(botjoin[i]);
+    }
+  }
   return result;
 }
 

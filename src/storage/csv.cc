@@ -1,6 +1,7 @@
 #include "storage/csv.h"
 
 #include <cctype>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -9,27 +10,69 @@ namespace lsens {
 
 namespace {
 
-std::vector<std::string> SplitLine(const std::string& line) {
-  std::vector<std::string> cells;
+std::string Trim(const std::string& cell) {
+  size_t begin = cell.find_first_not_of(" \t\r");
+  size_t end = cell.find_last_not_of(" \t\r");
+  return (begin == std::string::npos) ? std::string()
+                                      : cell.substr(begin, end - begin + 1);
+}
+
+// RFC 4180 field splitting: cells are comma-separated; a cell may be
+// double-quoted, in which case commas are literal and "" encodes one quote.
+// Unquoted cells are whitespace-trimmed (legacy behavior); quoted cells are
+// kept verbatim. Quoted cells may not continue past their closing quote,
+// and an unterminated quote is an error (it is also what an RFC 4180
+// embedded line break looks like to this line-based reader, so the message
+// mentions both).
+Status SplitLine(const std::string& line, size_t line_no,
+                 std::vector<std::string>* cells) {
+  cells->clear();
   size_t pos = 0;
   while (true) {
+    // One cell starting at `pos`.
+    size_t scan = line.find_first_not_of(" \t", pos);
+    if (scan != std::string::npos && line[scan] == '"') {
+      std::string cell;
+      size_t i = scan + 1;
+      bool closed = false;
+      while (i < line.size()) {
+        if (line[i] == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            cell += '"';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        cell += line[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": unterminated quoted cell (embedded line breaks are not"
+            " supported)");
+      }
+      size_t rest = line.find_first_not_of(" \t\r", i);
+      if (rest != std::string::npos && line[rest] != ',') {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": unexpected character after closing quote");
+      }
+      cells->push_back(std::move(cell));
+      if (rest == std::string::npos) return Status::OK();
+      pos = rest + 1;
+      continue;
+    }
     size_t comma = line.find(',', pos);
     if (comma == std::string::npos) {
-      cells.push_back(line.substr(pos));
-      break;
+      cells->push_back(Trim(line.substr(pos)));
+      return Status::OK();
     }
-    cells.push_back(line.substr(pos, comma - pos));
+    cells->push_back(Trim(line.substr(pos, comma - pos)));
     pos = comma + 1;
   }
-  // Trim surrounding whitespace per cell.
-  for (auto& cell : cells) {
-    size_t begin = cell.find_first_not_of(" \t\r");
-    size_t end = cell.find_last_not_of(" \t\r");
-    cell = (begin == std::string::npos)
-               ? std::string()
-               : cell.substr(begin, end - begin + 1);
-  }
-  return cells;
 }
 
 bool IsInteger(const std::string& s) {
@@ -40,6 +83,17 @@ bool IsInteger(const std::string& s) {
     if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
   }
   return true;
+}
+
+// Exact int64 parse for a cell IsInteger accepted. Unlike std::stoll, an
+// out-of-range literal reports failure instead of throwing through the
+// Status API.
+bool ParseInt64(const std::string& s, int64_t* out) {
+  // std::from_chars accepts '-' but not '+'.
+  const char* begin = s.data() + (s[0] == '+' ? 1 : 0);
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
 }
 
 }  // namespace
@@ -55,18 +109,20 @@ Status LoadCsvText(Database& db, const std::string& relation,
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty CSV: missing header");
   }
-  std::vector<std::string> header = SplitLine(line);
+  std::vector<std::string> header;
+  LSENS_RETURN_IF_ERROR(SplitLine(line, 1, &header));
   for (const auto& col : header) {
     if (col.empty()) return Status::InvalidArgument("empty column name");
   }
   Relation* rel = db.AddRelation(relation, header);
 
   std::vector<Value> row(header.size());
+  std::vector<std::string> cells;
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
-    std::vector<std::string> cells = SplitLine(line);
+    if (line.empty() || line == "\r") continue;
+    LSENS_RETURN_IF_ERROR(SplitLine(line, line_no, &cells));
     if (cells.size() != header.size()) {
       return Status::InvalidArgument(
           "line " + std::to_string(line_no) + ": expected " +
@@ -74,8 +130,17 @@ Status LoadCsvText(Database& db, const std::string& relation,
           std::to_string(cells.size()));
     }
     for (size_t c = 0; c < cells.size(); ++c) {
-      row[c] = IsInteger(cells[c]) ? static_cast<Value>(std::stoll(cells[c]))
-                                   : db.dict().Intern(cells[c]);
+      if (IsInteger(cells[c])) {
+        int64_t parsed = 0;
+        if (!ParseInt64(cells[c], &parsed)) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_no) + ": integer literal '" +
+              cells[c] + "' out of int64 range");
+        }
+        row[c] = static_cast<Value>(parsed);
+      } else {
+        row[c] = db.dict().Intern(cells[c]);
+      }
     }
     rel->AppendRow(row);
   }

@@ -3,15 +3,19 @@
 
 #include <string>
 
+#include "common/macros.h"
 #include "common/status.h"
 #include "storage/database.h"
 
 namespace lsens {
 
 // Plain-CSV interchange for relations. Cells are either integers (stored
-// verbatim) or arbitrary strings (interned through the database dictionary
-// so joins still run over flat int64 rows). No quoting/escaping — values
-// must not contain commas or newlines (validated on write).
+// verbatim; literals outside int64 are rejected with the line number) or
+// arbitrary strings (interned through the database dictionary so joins
+// still run over flat int64 rows). Reading accepts RFC 4180 double-quoted
+// cells ("" escapes a quote, commas inside quotes are literal; embedded
+// line breaks are not supported and read as an unterminated quote error).
+// Writing still refuses values that would need quoting.
 
 // Loads `path` into a new relation named `relation`. The first line is the
 // header (column names). Fails if the relation already exists.

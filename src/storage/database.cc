@@ -48,6 +48,26 @@ StatusOr<const Relation*> Database::Get(const std::string& name) const {
   return r;
 }
 
+Status Database::ApplyDelta(const DatabaseDelta& delta) {
+  for (const RelationDelta& rd : delta) {
+    Relation* rel = Find(rd.relation);
+    if (rel == nullptr) {
+      return Status::NotFound("relation '" + rd.relation +
+                              "' not in database");
+    }
+    LSENS_RETURN_IF_ERROR(rel->ApplyDelta(rd.inserts, rd.delete_rows));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Database::VersionOf(const std::string& relation) const {
+  const Relation* rel = Find(relation);
+  if (rel == nullptr) {
+    return Status::NotFound("relation '" + relation + "' not in database");
+  }
+  return rel->version();
+}
+
 size_t Database::TotalRows() const {
   size_t total = 0;
   for (const auto& [name, rel] : relations_) total += rel->NumRows();

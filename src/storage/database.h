@@ -13,6 +13,17 @@
 
 namespace lsens {
 
+// A batched update to one relation: rows to append plus indices (into the
+// pre-delta relation) of rows to remove. See Relation::ApplyDelta.
+struct RelationDelta {
+  std::string relation;
+  std::vector<std::vector<Value>> inserts;
+  std::vector<size_t> delete_rows;
+};
+
+// A batched update across relations, applied in order.
+using DatabaseDelta = std::vector<RelationDelta>;
+
 // A database instance: a set of named relations plus the shared attribute
 // catalog (query variables) and an optional value dictionary for symbolic
 // domains. Relations are stored by unique name; self-joins are expressed by
@@ -42,6 +53,15 @@ class Database {
   StatusOr<const Relation*> Get(const std::string& name) const;
 
   const std::vector<std::string>& relation_names() const { return names_; }
+
+  // Applies every RelationDelta in order, validating each against its
+  // relation before mutating it. A failure mid-list leaves earlier deltas
+  // applied (each RelationDelta is itself all-or-nothing).
+  Status ApplyDelta(const DatabaseDelta& delta);
+
+  // The named relation's monotone version counter (see Relation::version);
+  // Status if the relation is absent. Caches key their entries on these.
+  StatusOr<uint64_t> VersionOf(const std::string& relation) const;
 
   size_t TotalRows() const;
 

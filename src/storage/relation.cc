@@ -10,14 +10,111 @@ Relation::Relation(std::string name, std::vector<std::string> column_names)
   LSENS_CHECK_MSG(!column_names_.empty(), "relation needs >= 1 column");
 }
 
+void Relation::Set(size_t row, size_t col, Value v) {
+  LSENS_CHECK(row < NumRows() && col < arity());
+  if (log_enabled_) {
+    std::vector<Value> old(Row(row).begin(), Row(row).end());
+    std::vector<Value> updated = old;
+    updated[col] = v;
+    LogChange(/*insert=*/false, old);
+    LogChange(/*insert=*/true, updated);
+    // Two log entries, but one observable mutation: keep version() in sync
+    // with the entry count so CollectChangesSince offsets line up.
+    ++version_;
+  }
+  data_[row * arity() + col] = v;
+  ++version_;
+}
+
+void Relation::Clear() {
+  data_.clear();
+  ++version_;
+  // The delta "everything erased" is exactly what the log exists to avoid
+  // materializing; disable instead, so readers fall back to recompute.
+  log_enabled_ = false;
+  log_.clear();
+}
+
 void Relation::SwapRemoveRow(size_t i) {
   size_t n = NumRows();
   LSENS_CHECK(i < n);
   size_t k = arity();
+  if (log_enabled_) LogChange(/*insert=*/false, Row(i));
   if (i != n - 1) {
     std::copy_n(data_.begin() + (n - 1) * k, k, data_.begin() + i * k);
   }
   data_.resize((n - 1) * k);
+  ++version_;
+}
+
+Status Relation::ApplyDelta(std::span<const std::vector<Value>> inserts,
+                            std::vector<size_t> delete_rows) {
+  const size_t n = NumRows();
+  for (const auto& row : inserts) {
+    if (row.size() != arity()) {
+      return Status::InvalidArgument(
+          "insert row arity " + std::to_string(row.size()) + " != " +
+          std::to_string(arity()) + " in relation '" + name_ + "'");
+    }
+  }
+  std::sort(delete_rows.begin(), delete_rows.end());
+  for (size_t i = 0; i < delete_rows.size(); ++i) {
+    if (delete_rows[i] >= n) {
+      return Status::InvalidArgument(
+          "delete index " + std::to_string(delete_rows[i]) +
+          " out of range in relation '" + name_ + "' (" + std::to_string(n) +
+          " rows)");
+    }
+    if (i > 0 && delete_rows[i] == delete_rows[i - 1]) {
+      return Status::InvalidArgument("duplicate delete index " +
+                                     std::to_string(delete_rows[i]));
+    }
+  }
+  // Descending order keeps every pending index valid: a swap-remove only
+  // relocates the last row, whose index is larger than any remaining one.
+  for (size_t i = delete_rows.size(); i-- > 0;) {
+    SwapRemoveRow(delete_rows[i]);
+  }
+  for (const auto& row : inserts) AppendRow(row);
+  return Status::OK();
+}
+
+void Relation::EnableChangeLog(size_t capacity) {
+  LSENS_CHECK_MSG(capacity > 0, "change log capacity must be positive");
+  log_enabled_ = true;
+  log_capacity_ = capacity;
+  log_.clear();
+  log_base_version_ = version_;
+}
+
+void Relation::LogChange(bool insert, std::span<const Value> row) {
+  if (log_.size() == log_capacity_) {
+    log_.pop_front();
+    ++log_base_version_;
+  }
+  log_.push_back(RowChange{insert, {row.begin(), row.end()}});
+}
+
+bool Relation::CollectChangesSince(uint64_t since,
+                                   std::vector<RowChange>* out) const {
+  if (!log_enabled_ || since < log_base_version_ || since > version_) {
+    return false;
+  }
+  // All entries between log_base_version_ and version_ are retained, so the
+  // suffix starting at `since` is exactly the requested delta.
+  LSENS_CHECK(version_ - log_base_version_ == log_.size());
+  for (size_t i = static_cast<size_t>(since - log_base_version_);
+       i < log_.size(); ++i) {
+    out->push_back(log_[i]);
+  }
+  return true;
+}
+
+size_t Relation::NumChangesSince(uint64_t since) const {
+  if (!log_enabled_ || since < log_base_version_ || since > version_) {
+    return SIZE_MAX;
+  }
+  return static_cast<size_t>(version_ - since);
 }
 
 int Relation::ColumnIndex(const std::string& column_name) const {

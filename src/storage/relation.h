@@ -1,15 +1,26 @@
 #ifndef LSENS_STORAGE_RELATION_H_
 #define LSENS_STORAGE_RELATION_H_
 
+#include <cstdint>
+#include <deque>
 #include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "storage/value.h"
 
 namespace lsens {
+
+// One logged mutation of a relation: a row inserted into or erased from the
+// bag. Swap-remove reordering is not logged — consumers (the incremental
+// sensitivity subsystem) only care about the multiset delta.
+struct RowChange {
+  bool insert = true;
+  std::vector<Value> row;
+};
 
 // A base relation: named columns (by position; attribute binding happens in
 // the query's atoms) and flat row-major storage. Bag semantics: duplicate
@@ -18,6 +29,11 @@ namespace lsens {
 // Storage is a single contiguous std::vector<Value>; row i occupies
 // [i*arity, (i+1)*arity). This keeps a 6M-row Lineitem at scale 1 within a
 // few hundred MB and makes index-sorts cache-friendly.
+//
+// Every mutation bumps a monotone version counter, and an opt-in bounded
+// changelog records the row-level delta between versions so caches keyed on
+// (relation, version) can repair instead of recompute. The log is off by
+// default — bulk loads pay only the counter increment.
 class Relation {
  public:
   Relation(std::string name, std::vector<std::string> column_names);
@@ -33,33 +49,79 @@ class Relation {
     return {data_.data() + i * arity(), arity()};
   }
   Value At(size_t row, size_t col) const { return data_[row * arity() + col]; }
-  void Set(size_t row, size_t col, Value v) { data_[row * arity() + col] = v; }
+  // Point overwrite. Bumps the version; the changelog (which speaks in
+  // whole-row inserts/erases) records erase(old row) + insert(new row).
+  void Set(size_t row, size_t col, Value v);
 
   void AppendRow(std::span<const Value> row) {
     LSENS_CHECK(row.size() == arity());
+    if (log_enabled_) LogChange(/*insert=*/true, row);
     data_.insert(data_.end(), row.begin(), row.end());
+    ++version_;
   }
   void AppendRow(std::initializer_list<Value> row) {
     AppendRow(std::span<const Value>(row.begin(), row.size()));
   }
 
   void Reserve(size_t rows) { data_.reserve(rows * arity()); }
-  void Clear() { data_.clear(); }
+  // Drops every row. Bumps the version and disables the changelog (the
+  // delta would be the whole relation); re-enable to resume logging.
+  void Clear();
 
   // Removes row i by swapping with the last row (order is not meaningful
   // under bag semantics).
   void SwapRemoveRow(size_t i);
 
+  // Batched update: removes the rows at `delete_rows` (indices into the
+  // pre-delta relation, all distinct), then appends `inserts`. Rejects
+  // out-of-range or duplicate indices and arity-mismatched insert rows
+  // before mutating anything. One version bump and one changelog entry per
+  // affected row, exactly as the equivalent SwapRemoveRow/AppendRow
+  // sequence would produce.
+  Status ApplyDelta(std::span<const std::vector<Value>> inserts,
+                    std::vector<size_t> delete_rows);
+
+  // --- Versioning and the change log -------------------------------------
+  // Monotone mutation counter: every AppendRow / SwapRemoveRow / Set /
+  // Clear (and each row of an ApplyDelta) bumps it by one.
+  uint64_t version() const { return version_; }
+
+  // Starts (or restarts) row-level change logging. The log keeps at most
+  // `capacity` entries: older entries are discarded, which moves the
+  // oldest version CollectChangesSince can answer for forward. Restarting
+  // clears any previous log; changes before this call are not recoverable.
+  void EnableChangeLog(size_t capacity);
+  bool change_log_enabled() const { return log_enabled_; }
+
+  // Appends the changes that lead from version `since` to version() onto
+  // `out`. Returns false when the log cannot answer — logging disabled, a
+  // non-loggable mutation (Clear) intervened, or `since` predates the
+  // retained window — in which case `out` is untouched.
+  bool CollectChangesSince(uint64_t since, std::vector<RowChange>* out) const;
+  // The number of entries CollectChangesSince would append, or SIZE_MAX
+  // when it would return false.
+  size_t NumChangesSince(uint64_t since) const;
+
   // Column index for `column_name`, or -1.
   int ColumnIndex(const std::string& column_name) const;
 
   // Deep equality including row order (use for exact snapshots in tests).
+  // Versions and change logs are bookkeeping, not contents: they are
+  // ignored here.
   bool IdenticalTo(const Relation& other) const;
 
  private:
+  void LogChange(bool insert, std::span<const Value> row);
+
   std::string name_;
   std::vector<std::string> column_names_;
   std::vector<Value> data_;
+
+  uint64_t version_ = 0;
+  bool log_enabled_ = false;
+  size_t log_capacity_ = 0;
+  uint64_t log_base_version_ = 0;  // version before the first retained entry
+  std::deque<RowChange> log_;
 };
 
 }  // namespace lsens

@@ -52,6 +52,75 @@ TEST(CsvTest, NegativeIntegersParse) {
   EXPECT_EQ(db.Find("R")->At(1, 0), 4);
 }
 
+TEST(CsvTest, RejectsInt64OverflowWithLineNumber) {
+  Database db;
+  // IsInteger accepts these literals; they must fail cleanly instead of
+  // throwing std::out_of_range through the Status API.
+  Status s = LoadCsvText(db, "R",
+                         "a\n"
+                         "1\n"
+                         "99999999999999999999\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+  Status neg = LoadCsvText(db, "S", "a\n-99999999999999999999\n");
+  ASSERT_FALSE(neg.ok());
+  EXPECT_NE(neg.message().find("line 2"), std::string::npos);
+  // The int64 boundary itself still parses.
+  Database ok_db;
+  ASSERT_TRUE(LoadCsvText(ok_db, "T",
+                          "a\n9223372036854775807\n-9223372036854775808\n")
+                  .ok());
+  EXPECT_EQ(ok_db.Find("T")->At(0, 0), INT64_MAX);
+  EXPECT_EQ(ok_db.Find("T")->At(1, 0), INT64_MIN);
+}
+
+TEST(CsvTest, QuotedCellsFollowRfc4180) {
+  Database db;
+  Status s = LoadCsvText(db, "R",
+                         "name,note,n\n"
+                         "\"a,b\",plain,1\n"
+                         "\"say \"\"hi\"\"\",\"x\",2\n");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const Relation* rel = db.Find("R");
+  ASSERT_EQ(rel->NumRows(), 2u);
+  // The quoted comma stays inside one cell — later columns do not shift.
+  EXPECT_EQ(rel->At(0, 0), db.dict().Lookup("a,b"));
+  EXPECT_EQ(rel->At(0, 2), 1);
+  EXPECT_EQ(rel->At(1, 0), db.dict().Lookup("say \"hi\""));
+  EXPECT_EQ(rel->At(1, 2), 2);
+  // Quoting affects only splitting; integer-looking content still parses.
+  Database db2;
+  ASSERT_TRUE(LoadCsvText(db2, "R", "a\n\"42\"\n").ok());
+  EXPECT_EQ(db2.Find("R")->At(0, 0), 42);
+}
+
+TEST(CsvTest, RejectsMalformedQuotes) {
+  Database db;
+  Status unterminated = LoadCsvText(db, "R", "a\n\"oops\n");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.message().find("line 2"), std::string::npos);
+  Status trailing = LoadCsvText(db, "S", "a,b\n\"x\"y,1\n");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.message().find("closing quote"), std::string::npos);
+}
+
+TEST(CsvTest, CrlfAndTrailingBlankLines) {
+  Database db;
+  Status s = LoadCsvText(db, "R",
+                         "a,b\r\n"
+                         "1,\"x,y\"\r\n"
+                         "2,z\r\n"
+                         "\r\n"
+                         "\n");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const Relation* rel = db.Find("R");
+  ASSERT_EQ(rel->NumRows(), 2u);
+  EXPECT_EQ(rel->At(0, 0), 1);
+  EXPECT_EQ(rel->At(0, 1), db.dict().Lookup("x,y"));
+  EXPECT_EQ(rel->At(1, 1), db.dict().Lookup("z"));
+}
+
 TEST(CsvTest, RejectsBadInput) {
   Database db;
   EXPECT_FALSE(LoadCsvText(db, "R", "").ok());           // no header
