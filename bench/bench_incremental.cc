@@ -1,30 +1,45 @@
 // Incremental sensitivity maintenance under update streams: replays
 // randomized single-row insert/delete streams over the acyclic-tree, path,
-// and TPC-H q1 workloads, comparing a SensitivityCache repair against a
-// from-scratch ComputeLocalSensitivity after every update. Reports
-// wall-clock per repaired update, full-recompute wall clock, and the
-// rows-processed ratio (summed over every ExecContext operator), and
+// and TPC-H q1 workloads — once per LSENS_THREADS entry, on identically
+// rebuilt databases, so serial and sharded repair are compared on the same
+// stream — checking a SensitivityCache repair against a from-scratch
+// ComputeLocalSensitivity along the way. Also runs the repair-index
+// microbench: the flat open-addressing DynTable against the
+// unordered_multimap-indexed layout it replaced, on the same op stream.
+// Reports wall-clock per repaired update, full-recompute wall clock, and
+// the rows-processed ratio (summed over every ExecContext operator), and
 // writes the BENCH_incremental.json trajectory file.
 //
+// Exits non-zero (failing the CTest smoke) when a repairable stream's
+// rows-touched ratio exceeds LSENS_INC_MAX_ROW_RATIO — the pinned
+// asymptotic-work threshold — or when the flat/multimap checksums diverge.
+//
 // Knobs:
-//   LSENS_INC_ROWS         rows per synthetic relation   (default 100000)
-//   LSENS_INC_DOMAIN       synthetic join-key domain     (default 1000)
-//   LSENS_INC_UPDATES      stream length                 (default 200)
-//   LSENS_INC_CHECK_EVERY  full-recompute cadence        (default 25)
-//   LSENS_INC_TPCH_SCALE   TPC-H scale factor            (default 0.02)
-//   LSENS_BENCH_INC_JSON   output path                   (default
-//                          BENCH_incremental.json)
+//   LSENS_INC_ROWS          rows per synthetic relation   (default 100000)
+//   LSENS_INC_DOMAIN        synthetic join-key domain     (default 1000)
+//   LSENS_INC_UPDATES       stream length                 (default 200)
+//   LSENS_INC_CHECK_EVERY   full-recompute cadence        (default 25)
+//   LSENS_INC_TPCH_SCALE    TPC-H scale factor            (default 0.02)
+//   LSENS_THREADS           repair thread counts          (default 0,2)
+//   LSENS_INC_MAX_ROW_RATIO rows-touched ratio ceiling    (default 0.05)
+//   LSENS_INC_INDEX_ROWS    microbench table rows         (default 100000)
+//   LSENS_INC_INDEX_OPS     microbench op-stream length   (default 300000)
+//   LSENS_INC_INDEX_DOMAIN  microbench per-column domain  (default 400)
+//   LSENS_BENCH_INC_JSON    output path                   (default
+//                           BENCH_incremental.json)
 
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "exec/dyn_table.h"
 #include "exec/exec_context.h"
 #include "sensitivity/incremental.h"
 #include "sensitivity/tsens.h"
@@ -38,12 +53,14 @@ struct StreamResult {
   std::string name;
   size_t rows = 0;
   long updates = 0;
+  long threads = 0;
   double repair_ns = 0;       // median wall per repaired update
   double full_ns = 0;         // median wall per from-scratch compute
   double repair_rows = 0;     // median rows processed per repaired update
   double full_rows = 0;       // rows processed by one full compute
   uint64_t repairs = 0;
   uint64_t fallbacks = 0;
+  uint64_t final_ls = 0;      // last repaired LS (thread-count invariant)
 };
 
 uint64_t TotalRows(const ExecContext& ctx) {
@@ -70,16 +87,19 @@ void MutateOne(Rng& rng, const ConjunctiveQuery& q, Database& db) {
 
 StreamResult ReplayStream(const std::string& name, const ConjunctiveQuery& q,
                           Database& db, const TSensComputeOptions& options,
-                          long updates, long check_every, Rng& rng) {
+                          long updates, long check_every, long threads,
+                          Rng rng) {
   StreamResult out;
   out.name = name;
   for (const Atom& atom : q.atoms()) {
     out.rows += db.Find(atom.relation)->NumRows();
   }
   out.updates = updates;
+  out.threads = threads;
 
   SensitivityCache cache;
   TSensComputeOptions cached_options = options;
+  cached_options.join.threads = static_cast<int>(threads);
 
   // Baseline: one from-scratch compute with stats, for the row count.
   {
@@ -104,6 +124,7 @@ StreamResult ReplayStream(const std::string& name, const ConjunctiveQuery& q,
     auto repaired = cache.Compute(q, db, cached_options);
     double elapsed = timer.ElapsedSeconds();
     LSENS_CHECK(repaired.ok());
+    out.final_ls = repaired->local_sensitivity.ToUint64Saturated();
     repair_ns.push_back(elapsed * 1e9);
     repair_rows.push_back(static_cast<double>(TotalRows(ctx)));
     if (u % check_every == 0) {
@@ -127,7 +148,8 @@ StreamResult ReplayStream(const std::string& name, const ConjunctiveQuery& q,
   out.repairs = cache.stats().repairs;
   out.fallbacks = cache.stats().fallback_stale +
                   cache.stats().fallback_large_delta +
-                  cache.stats().fallback_unsupported;
+                  cache.stats().fallback_unsupported +
+                  cache.stats().fallback_spilled;
   return out;
 }
 
@@ -152,17 +174,291 @@ Database MakeSyntheticDb(Rng& rng, const std::vector<std::string>& names,
 
 void PrintResult(const StreamResult& r) {
   std::printf(
-      "%-12s %9zu rows  repair %10.0f ns/update  full %12.0f ns  "
+      "%-12s t=%ld %9zu rows  repair %10.0f ns/update  full %12.0f ns  "
       "speedup %8.1fx  rows %7.0f vs %9.0f (%.3f%%)  repairs %" PRIu64
       "  fallbacks %" PRIu64 "\n",
-      r.name.c_str(), r.rows, r.repair_ns, r.full_ns,
+      r.name.c_str(), r.threads, r.rows, r.repair_ns, r.full_ns,
       r.repair_ns > 0 ? r.full_ns / r.repair_ns : 0.0, r.repair_rows,
       r.full_rows,
       r.full_rows > 0 ? 100.0 * r.repair_rows / r.full_rows : 0.0, r.repairs,
       r.fallbacks);
 }
 
-bool WriteJson(const std::vector<StreamResult>& results) {
+// --- repair-index microbench ---------------------------------------------
+
+// The PR-4 DynTable layout, kept verbatim as the microbench baseline (the
+// way bench_join_micro keeps the legacy multimap join kernels): primary
+// and secondary indexes are unordered_multimaps over key hashes, and Set /
+// Adjust hash twice (find, then insert/erase).
+class LegacyMultimapTable {
+ public:
+  static constexpr uint32_t kNoRow = UINT32_MAX;
+
+  explicit LegacyMultimapTable(size_t arity) : arity_(arity) {}
+
+  void Load(const CountedRelation& rel) {
+    for (size_t i = 0; i < rel.NumRows(); ++i) {
+      InsertRow(rel.Row(i), rel.CountAt(i));
+    }
+  }
+
+  int AddIndex(std::vector<int> cols) {
+    secondary_.push_back(Index{std::move(cols), {}});
+    Index& index = secondary_.back();
+    for (uint32_t r = 0; r < counts_.size(); ++r) {
+      if (alive_[r]) IndexInsert(index, r);
+    }
+    return static_cast<int>(secondary_.size() - 1);
+  }
+
+  Count Get(std::span<const Value> key) const {
+    uint32_t row = FindRow(key);
+    return row == kNoRow ? Count::Zero() : counts_[row];
+  }
+
+  Count Set(std::span<const Value> key, Count c) {
+    uint32_t row = FindRow(key);
+    if (row == kNoRow) {
+      if (!c.IsZero()) InsertRow(key, c);
+      return Count::Zero();
+    }
+    Count old = counts_[row];
+    if (c.IsZero()) {
+      EraseRow(row);
+    } else {
+      counts_[row] = c;
+    }
+    return old;
+  }
+
+  bool Adjust(std::span<const Value> key, Count c, bool add) {
+    if (c.IsZero()) return true;
+    uint32_t row = FindRow(key);
+    Count old = row == kNoRow ? Count::Zero() : counts_[row];
+    if (add) {
+      Count updated = old + c;
+      if (updated.IsSaturated()) return false;
+      if (row == kNoRow) {
+        InsertRow(key, updated);
+      } else {
+        counts_[row] = updated;
+      }
+      return true;
+    }
+    if (old < c) return false;
+    Count updated = old.SaturatingSub(c);
+    if (updated.IsZero()) {
+      EraseRow(row);
+    } else {
+      counts_[row] = updated;
+    }
+    return true;
+  }
+
+  void LookupIndex(int index_id, std::span<const Value> key,
+                   std::vector<uint32_t>* out) const {
+    const Index& index = secondary_[static_cast<size_t>(index_id)];
+    auto [begin, end] = index.map.equal_range(Hash(key));
+    for (auto it = begin; it != end; ++it) {
+      uint32_t row = it->second;
+      std::span<const Value> stored = RowValues(row);
+      bool match = true;
+      for (size_t i = 0; i < index.cols.size() && match; ++i) {
+        match = stored[static_cast<size_t>(index.cols[i])] == key[i];
+      }
+      if (match) out->push_back(row);
+    }
+  }
+
+ private:
+  struct Index {
+    std::vector<int> cols;
+    std::unordered_multimap<uint64_t, uint32_t> map;
+  };
+
+  static uint64_t Hash(std::span<const Value> key) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (Value v : key) h = Mix64(h ^ static_cast<uint64_t>(v));
+    return h;
+  }
+
+  std::span<const Value> RowValues(uint32_t row) const {
+    return {data_.data() + static_cast<size_t>(row) * arity_, arity_};
+  }
+
+  uint32_t FindRow(std::span<const Value> key) const {
+    auto [begin, end] = primary_.equal_range(Hash(key));
+    for (auto it = begin; it != end; ++it) {
+      std::span<const Value> stored = RowValues(it->second);
+      bool match = true;
+      for (size_t i = 0; i < key.size() && match; ++i) {
+        match = stored[i] == key[i];
+      }
+      if (match) return it->second;
+    }
+    return kNoRow;
+  }
+
+  void InsertRow(std::span<const Value> key, Count c) {
+    uint32_t row;
+    if (!free_.empty()) {
+      row = free_.back();
+      free_.pop_back();
+      std::copy(key.begin(), key.end(),
+                data_.begin() + static_cast<size_t>(row) * arity_);
+      counts_[row] = c;
+      alive_[row] = 1;
+    } else {
+      row = static_cast<uint32_t>(counts_.size());
+      data_.insert(data_.end(), key.begin(), key.end());
+      counts_.push_back(c);
+      alive_.push_back(1);
+    }
+    primary_.emplace(Hash(key), row);
+    for (Index& index : secondary_) IndexInsert(index, row);
+  }
+
+  void EraseRow(uint32_t row) {
+    for (Index& index : secondary_) {
+      std::span<const Value> stored = RowValues(row);
+      std::vector<Value> projected;
+      for (int c : index.cols) {
+        projected.push_back(stored[static_cast<size_t>(c)]);
+      }
+      auto [begin, end] = index.map.equal_range(
+          Hash({projected.data(), projected.size()}));
+      for (auto it = begin; it != end; ++it) {
+        if (it->second == row) {
+          index.map.erase(it);
+          break;
+        }
+      }
+    }
+    std::span<const Value> key = RowValues(row);
+    auto [begin, end] = primary_.equal_range(Hash(key));
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == row) {
+        primary_.erase(it);
+        break;
+      }
+    }
+    alive_[row] = 0;
+    counts_[row] = Count::Zero();
+    free_.push_back(row);
+  }
+
+  void IndexInsert(Index& index, uint32_t row) {
+    std::span<const Value> stored = RowValues(row);
+    std::vector<Value> projected;
+    for (int c : index.cols) {
+      projected.push_back(stored[static_cast<size_t>(c)]);
+    }
+    index.map.emplace(Hash({projected.data(), projected.size()}), row);
+  }
+
+  size_t arity_;
+  std::vector<Value> data_;
+  std::vector<Count> counts_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint32_t> free_;
+  std::unordered_multimap<uint64_t, uint32_t> primary_;
+  std::vector<Index> secondary_;
+};
+
+struct IndexMicroResult {
+  long rows = 0;
+  long ops = 0;
+  double flat_ns = 0;
+  double multimap_ns = 0;
+};
+
+// The repair op mix: point adjustments and upserts (the source delta
+// apply), point reads of input tables, and secondary-index group scans
+// (the affected-group re-aggregation). Both layouts see the identical
+// deterministic stream; the checksum pins identical behavior.
+template <typename Table>
+double TimeIndexOps(Table& table, int lookup_index, long ops, uint64_t seed,
+                    long domain, uint64_t* checksum) {
+  Rng rng(seed);
+  std::vector<uint32_t> rows;
+  std::vector<Value> key(2);
+  WallTimer timer;
+  for (long i = 0; i < ops; ++i) {
+    key[0] = static_cast<Value>(rng.NextBounded(domain));
+    key[1] = static_cast<Value>(rng.NextBounded(domain));
+    switch (rng.NextBounded(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {
+        bool add = rng.NextBounded(2) == 0;
+        *checksum += table.Adjust(key, Count::One(), add) ? 1 : 0;
+        break;
+      }
+      case 4:
+      case 5: {
+        *checksum += table.Get(key).ToUint64Saturated();
+        break;
+      }
+      case 6: {
+        table.Set(key, Count(rng.NextBounded(3)));
+        break;
+      }
+      default: {
+        rows.clear();
+        table.LookupIndex(lookup_index, {key.data(), 1}, &rows);
+        *checksum += rows.size();
+        break;
+      }
+    }
+  }
+  return timer.ElapsedSeconds() * 1e9 / static_cast<double>(ops);
+}
+
+IndexMicroResult RunIndexMicro(long rows, long ops, long domain, long reps) {
+  CountedRelation seed_rel({1, 2});
+  Rng fill(7151);
+  for (long i = 0; i < rows; ++i) {
+    seed_rel.AppendRow({static_cast<Value>(fill.NextBounded(domain)),
+                        static_cast<Value>(fill.NextBounded(domain))},
+                       Count(1 + fill.NextBounded(3)));
+  }
+  seed_rel.Normalize();
+
+  IndexMicroResult out;
+  out.rows = rows;
+  out.ops = ops;
+  std::vector<double> flat_ns;
+  std::vector<double> multimap_ns;
+  uint64_t flat_sum = 0;
+  uint64_t multimap_sum = 0;
+  for (long rep = 0; rep < reps; ++rep) {
+    const uint64_t seed = 90210 + static_cast<uint64_t>(rep);
+    {
+      DynTable table(AttributeSet{1, 2});
+      table.Load(seed_rel);
+      int idx = table.AddIndex({0});
+      flat_ns.push_back(
+          TimeIndexOps(table, idx, ops, seed, domain, &flat_sum));
+    }
+    {
+      LegacyMultimapTable table(2);
+      table.Load(seed_rel);
+      int idx = table.AddIndex({0});
+      multimap_ns.push_back(
+          TimeIndexOps(table, idx, ops, seed, domain, &multimap_sum));
+    }
+  }
+  // Identical op stream, identical semantics: any divergence is a bug in
+  // the flat layout.
+  LSENS_CHECK(flat_sum == multimap_sum);
+  out.flat_ns = bench::Median(flat_ns);
+  out.multimap_ns = bench::Median(multimap_ns);
+  return out;
+}
+
+bool WriteJson(const std::vector<StreamResult>& results,
+               const IndexMicroResult& micro) {
   const char* path = std::getenv("LSENS_BENCH_INC_JSON");
   if (path == nullptr) path = "BENCH_incremental.json";
   std::FILE* f = std::fopen(path, "w");
@@ -171,23 +467,29 @@ bool WriteJson(const std::vector<StreamResult>& results) {
     return false;
   }
   std::fprintf(f, "[\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const StreamResult& r = results[i];
+  for (const StreamResult& r : results) {
     std::fprintf(
         f,
         "  {\"name\": \"%s\", \"rows\": %zu, \"updates\": %ld, "
+        "\"threads\": %ld, "
         "\"repair_ns_per_update\": %.1f, \"full_ns\": %.1f, "
         "\"speedup\": %.2f, \"repair_rows_per_update\": %.1f, "
         "\"full_rows\": %.1f, \"row_ratio\": %.6f, \"repairs\": %" PRIu64
-        ", \"fallbacks\": %" PRIu64 "}%s\n",
-        r.name.c_str(), r.rows, r.updates, r.repair_ns, r.full_ns,
+        ", \"fallbacks\": %" PRIu64 "},\n",
+        r.name.c_str(), r.rows, r.updates, r.threads, r.repair_ns, r.full_ns,
         r.repair_ns > 0 ? r.full_ns / r.repair_ns : 0.0, r.repair_rows,
         r.full_rows, r.full_rows > 0 ? r.repair_rows / r.full_rows : 0.0,
-        r.repairs, r.fallbacks, i + 1 < results.size() ? "," : "");
+        r.repairs, r.fallbacks);
   }
+  std::fprintf(f,
+               "  {\"name\": \"repair_index_micro\", \"rows\": %ld, "
+               "\"ops\": %ld, \"flat_ns_per_op\": %.2f, "
+               "\"multimap_ns_per_op\": %.2f, \"speedup\": %.2f}\n",
+               micro.rows, micro.ops, micro.flat_ns, micro.multimap_ns,
+               micro.flat_ns > 0 ? micro.multimap_ns / micro.flat_ns : 0.0);
   std::fprintf(f, "]\n");
   std::fclose(f);
-  std::printf("wrote %s (%zu entries)\n", path, results.size());
+  std::printf("wrote %s (%zu entries)\n", path, results.size() + 1);
   return true;
 }
 
@@ -199,15 +501,27 @@ int Run() {
       std::max<long>(1, bench::EnvInt("LSENS_INC_CHECK_EVERY", 25));
   const double tpch_scale = bench::EnvScales("LSENS_INC_TPCH_SCALE",
                                              {0.02})[0];
+  const double max_row_ratio =
+      bench::EnvScales("LSENS_INC_MAX_ROW_RATIO", {0.05})[0];
+  std::vector<long> threads_axis;
+  for (double t : bench::EnvScales("LSENS_THREADS", {0, 2})) {
+    threads_axis.push_back(static_cast<long>(t));
+  }
+  const long index_rows = bench::EnvInt("LSENS_INC_INDEX_ROWS", 100000);
+  const long index_ops = bench::EnvInt("LSENS_INC_INDEX_OPS", 300000);
+  const long index_domain = bench::EnvInt("LSENS_INC_INDEX_DOMAIN", 400);
+  const long reps = std::max<long>(1, bench::EnvInt("LSENS_REPS", 3));
 
   bench::Banner("BENCH incremental",
                 "sensitivity maintenance under randomized insert/delete"
-                " streams: cache repair vs from-scratch recompute");
+                " streams: cache repair (serial + sharded) vs from-scratch"
+                " recompute, plus the flat-vs-multimap repair-index"
+                " microbench");
   std::vector<StreamResult> results;
-  Rng rng(20200712);
 
-  {
+  for (long t : threads_axis) {
     // 4-atom path query (Algorithm 1 / path repair mode).
+    Rng rng(20200712);
     Database db = MakeSyntheticDb(
         rng, {"P1", "P2", "P3", "P4"},
         {{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}}, rows, domain);
@@ -216,13 +530,14 @@ int Run() {
     q.AddAtom(db, "P2", {"B", "C"});
     q.AddAtom(db, "P3", {"C", "D"});
     q.AddAtom(db, "P4", {"D", "E"});
-    results.push_back(
-        ReplayStream("path4", q, db, {}, updates, check_every, rng));
+    results.push_back(ReplayStream("path4", q, db, {}, updates, check_every,
+                                   t, Rng(417001)));
     PrintResult(results.back());
   }
-  {
+  for (long t : threads_axis) {
     // Caterpillar join tree with distinct links per node: tree repair mode
     // (the TSensOverGhd ⊥/⊤ tables, not the path chains).
+    Rng rng(20200713);
     Database db = MakeSyntheticDb(
         rng, {"T1", "T2", "T3", "T4"},
         {{"a", "b"}, {"b", "c", "f"}, {"c", "d"}, {"f", "g"}}, rows, domain);
@@ -231,11 +546,11 @@ int Run() {
     q.AddAtom(db, "T2", {"B", "C", "F"});
     q.AddAtom(db, "T3", {"C", "D"});
     q.AddAtom(db, "T4", {"F", "G"});
-    results.push_back(
-        ReplayStream("acyclic", q, db, {}, updates, check_every, rng));
+    results.push_back(ReplayStream("acyclic", q, db, {}, updates,
+                                   check_every, t, Rng(417002)));
     PrintResult(results.back());
   }
-  {
+  for (long t : threads_axis) {
     // TPC-H q1 (the paper's path workload) at the configured scale.
     TpchOptions topt;
     topt.scale = tpch_scale;
@@ -244,11 +559,44 @@ int Run() {
     TSensComputeOptions options;
     options.skip_atoms = wq.skip_atoms;
     results.push_back(ReplayStream("tpch-q1", wq.query, db, options, updates,
-                                   check_every, rng));
+                                   check_every, t, Rng(417003)));
     PrintResult(results.back());
   }
 
-  return WriteJson(results) ? 0 : 1;
+  // Cross-thread-count invariant: identical streams must end on identical
+  // sensitivities regardless of repair sharding.
+  for (const StreamResult& r : results) {
+    for (const StreamResult& o : results) {
+      if (r.name == o.name) LSENS_CHECK(r.final_ls == o.final_ls);
+    }
+  }
+
+  IndexMicroResult micro =
+      RunIndexMicro(index_rows, index_ops, index_domain, reps);
+  std::printf(
+      "repair-index micro: %ld rows, %ld ops  flat %7.1f ns/op  "
+      "multimap %7.1f ns/op  speedup %.2fx\n",
+      micro.rows, micro.ops, micro.flat_ns, micro.multimap_ns,
+      micro.flat_ns > 0 ? micro.multimap_ns / micro.flat_ns : 0.0);
+
+  bool ok = WriteJson(results, micro);
+
+  // The pinned asymptotic-work gate: a repairable stream whose repairs
+  // touch more than max_row_ratio of the full-recompute rows is a
+  // regression in the delta-repair machinery.
+  for (const StreamResult& r : results) {
+    if (r.repairs == 0 || r.full_rows <= 0) continue;
+    const double ratio = r.repair_rows / r.full_rows;
+    if (ratio > max_row_ratio) {
+      std::fprintf(stderr,
+                   "FAIL: %s (threads %ld) repair touches %.4f%% of full"
+                   " rows, over the pinned %.4f%% ceiling\n",
+                   r.name.c_str(), r.threads, 100.0 * ratio,
+                   100.0 * max_row_ratio);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "common/rng.h"
-
 namespace lsens {
 
 DynTable::DynTable(AttributeSet attrs) : attrs_(std::move(attrs)) {
@@ -14,17 +12,15 @@ DynTable::DynTable(AttributeSet attrs) : attrs_(std::move(attrs)) {
 
 uint64_t DynTable::HashCols(std::span<const Value> row,
                             std::span<const int> cols) const {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  uint64_t h = kValueHashSeed;
   for (int c : cols) {
-    h = Mix64(h ^ static_cast<uint64_t>(row[static_cast<size_t>(c)]));
+    h = HashValueFold(h, row[static_cast<size_t>(c)]);
   }
   return h;
 }
 
 uint64_t DynTable::HashKey(std::span<const Value> key) const {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (Value v : key) h = Mix64(h ^ static_cast<uint64_t>(v));
-  return h;
+  return HashValues(key);
 }
 
 bool DynTable::KeyEquals(uint32_t row, std::span<const Value> key) const {
@@ -43,18 +39,36 @@ void DynTable::Load(const CountedRelation& rel) {
   counts_.clear();
   alive_.clear();
   free_.clear();
-  primary_.clear();
-  for (Index& index : secondary_) index.map.clear();
+  primary_.Clear();
+  for (Index& index : secondary_) {
+    index.heads.Clear();
+    index.next.clear();
+    index.prev.clear();
+  }
   live_rows_ = 0;
   saturated_ = false;
-  data_.reserve(rel.NumRows() * arity());
-  counts_.reserve(rel.NumRows());
-  alive_.reserve(rel.NumRows());
-  primary_.reserve(rel.NumRows());
-  for (Index& index : secondary_) index.map.reserve(rel.NumRows());
-  for (size_t i = 0; i < rel.NumRows(); ++i) {
+  const size_t n = rel.NumRows();
+  data_.reserve(n * arity());
+  counts_.reserve(n);
+  alive_.reserve(n);
+  primary_.Reserve(n);
+  for (Index& index : secondary_) {
+    index.heads.Reserve(n);
+    index.next.reserve(n);
+    index.prev.reserve(n);
+  }
+  for (size_t i = 0; i < n; ++i) {
     if (rel.CountAt(i).IsSaturated()) saturated_ = true;
-    InsertRow(rel.Row(i), rel.CountAt(i));
+    std::span<const Value> key = rel.Row(i);
+    const uint64_t h = HashKey(key);
+    ++stats_.key_hashes;
+    ++stats_.locates;
+    // Normalized input: keys are distinct, so the locate is a guaranteed
+    // miss that only finds the insert slot.
+    FlatRowIndex::Cursor cur =
+        primary_.Locate(h, [&](uint32_t r) { return KeyEquals(r, key); });
+    LSENS_CHECK(cur.row == FlatRowIndex::kNoRow);
+    InsertRow(cur, h, key, rel.CountAt(i));
   }
 }
 
@@ -65,19 +79,20 @@ int DynTable::AddIndex(std::vector<int> cols) {
   for (size_t i = 0; i < secondary_.size(); ++i) {
     if (secondary_[i].cols == cols) return static_cast<int>(i);
   }
-  secondary_.push_back(Index{std::move(cols), {}});
+  secondary_.push_back(Index{std::move(cols), {}, {}, {}});
   Index& index = secondary_.back();
+  index.heads.Reserve(live_rows_);
+  index.next.assign(counts_.size(), kNoRow);
+  index.prev.assign(counts_.size(), kNoRow);
   ForEachRow([&](uint32_t r) { IndexInsert(index, r); });
   return static_cast<int>(secondary_.size() - 1);
 }
 
 uint32_t DynTable::FindRow(std::span<const Value> key) const {
   LSENS_CHECK(key.size() == arity());
-  auto [begin, end] = primary_.equal_range(HashKey(key));
-  for (auto it = begin; it != end; ++it) {
-    if (KeyEquals(it->second, key)) return it->second;
-  }
-  return kNoRow;
+  FlatRowIndex::Cursor cur = primary_.Locate(
+      HashKey(key), [&](uint32_t r) { return KeyEquals(r, key); });
+  return cur.row == FlatRowIndex::kNoRow ? kNoRow : cur.row;
 }
 
 Count DynTable::Get(std::span<const Value> key) const {
@@ -85,7 +100,8 @@ Count DynTable::Get(std::span<const Value> key) const {
   return row == kNoRow ? Count::Zero() : counts_[row];
 }
 
-uint32_t DynTable::InsertRow(std::span<const Value> key, Count c) {
+uint32_t DynTable::InsertRow(FlatRowIndex::Cursor cur, uint64_t hash,
+                             std::span<const Value> key, Count c) {
   uint32_t row;
   if (!free_.empty()) {
     row = free_.back();
@@ -101,40 +117,94 @@ uint32_t DynTable::InsertRow(std::span<const Value> key, Count c) {
     alive_.push_back(1);
   }
   ++live_rows_;
-  primary_.emplace(HashKey(key), row);
-  for (Index& index : secondary_) IndexInsert(index, row);
+  primary_.InsertAt(cur, hash, row);
+  for (Index& index : secondary_) {
+    if (index.next.size() < counts_.size()) {
+      index.next.resize(counts_.size(), kNoRow);
+      index.prev.resize(counts_.size(), kNoRow);
+    }
+    IndexInsert(index, row);
+  }
   return row;
 }
 
-void DynTable::EraseRow(uint32_t row) {
+void DynTable::EraseRow(FlatRowIndex::Cursor cur) {
+  const uint32_t row = cur.row;
   for (Index& index : secondary_) IndexErase(index, row);
-  std::span<const Value> key = RowValues(row);
-  auto [begin, end] = primary_.equal_range(HashKey(key));
-  for (auto it = begin; it != end; ++it) {
-    if (it->second == row) {
-      primary_.erase(it);
-      break;
-    }
-  }
+  primary_.EraseAt(cur);
   alive_[row] = 0;
   counts_[row] = Count::Zero();
   free_.push_back(row);
   --live_rows_;
 }
 
+void DynTable::IndexInsert(Index& index, uint32_t row) {
+  std::span<const Value> key = RowValues(row);
+  const uint64_t h = HashCols(key, index.cols);
+  ++stats_.key_hashes;
+  FlatRowIndex::Cursor cur = index.heads.Locate(h, [&](uint32_t head) {
+    std::span<const Value> stored = RowValues(head);
+    for (int c : index.cols) {
+      if (stored[static_cast<size_t>(c)] != key[static_cast<size_t>(c)]) {
+        return false;
+      }
+    }
+    return true;
+  });
+  if (cur.row == FlatRowIndex::kNoRow) {
+    index.heads.InsertAt(cur, h, row);
+    index.next[row] = kNoRow;
+    index.prev[row] = kNoRow;
+    return;
+  }
+  // Splice in right after the head: O(1), and the head entry stays put.
+  const uint32_t head = cur.row;
+  index.next[row] = index.next[head];
+  index.prev[row] = head;
+  if (index.next[head] != kNoRow) index.prev[index.next[head]] = row;
+  index.next[head] = row;
+}
+
+void DynTable::IndexErase(Index& index, uint32_t row) {
+  const uint32_t p = index.prev[row];
+  const uint32_t n = index.next[row];
+  if (p != kNoRow) {
+    // Mid-chain: pure link surgery, no hashing, no probing.
+    index.next[p] = n;
+    if (n != kNoRow) index.prev[n] = p;
+    return;
+  }
+  // Head row: rebind the index entry to the next chain row (or drop it).
+  ++stats_.key_hashes;
+  FlatRowIndex::Cursor cur =
+      index.heads.Locate(HashCols(RowValues(row), index.cols),
+                         [&](uint32_t r) { return r == row; });
+  LSENS_CHECK_MSG(cur.row == row, "DynTable secondary index lost a row");
+  if (n == kNoRow) {
+    index.heads.EraseAt(cur);
+  } else {
+    index.heads.SetRowAt(cur, n);
+    index.prev[n] = kNoRow;
+  }
+}
+
 Count DynTable::Set(std::span<const Value> key, Count c) {
   LSENS_CHECK(key.size() == arity());
   if (c.IsSaturated()) saturated_ = true;
-  uint32_t row = FindRow(key);
-  if (row == kNoRow) {
-    if (!c.IsZero()) InsertRow(key, c);
+  const uint64_t h = HashKey(key);
+  ++stats_.key_hashes;
+  ++stats_.locates;
+  FlatRowIndex::Cursor cur =
+      primary_.Locate(h, [&](uint32_t r) { return KeyEquals(r, key); });
+  if (cur.row == FlatRowIndex::kNoRow) {
+    if (!c.IsZero()) InsertRow(cur, h, key, c);
     return Count::Zero();
   }
-  Count old = counts_[row];
+  Count old = counts_[cur.row];
   if (c.IsZero()) {
-    EraseRow(row);
+    EraseRow(cur);
   } else {
-    counts_[row] = c;
+    counts_[cur.row] = c;
   }
   return old;
 }
@@ -142,18 +212,23 @@ Count DynTable::Set(std::span<const Value> key, Count c) {
 bool DynTable::Adjust(std::span<const Value> key, Count c, bool add) {
   LSENS_CHECK(key.size() == arity());
   if (c.IsZero()) return true;  // no-op; also keeps zero == absent intact
-  uint32_t row = FindRow(key);
-  Count old = row == kNoRow ? Count::Zero() : counts_[row];
+  const uint64_t h = HashKey(key);
+  ++stats_.key_hashes;
+  ++stats_.locates;
+  FlatRowIndex::Cursor cur =
+      primary_.Locate(h, [&](uint32_t r) { return KeyEquals(r, key); });
+  Count old =
+      cur.row == FlatRowIndex::kNoRow ? Count::Zero() : counts_[cur.row];
   if (add) {
     Count updated = old + c;
     if (updated.IsSaturated()) {
       saturated_ = true;
       return false;
     }
-    if (row == kNoRow) {
-      InsertRow(key, updated);
+    if (cur.row == FlatRowIndex::kNoRow) {
+      InsertRow(cur, h, key, updated);
     } else {
-      counts_[row] = updated;
+      counts_[cur.row] = updated;
     }
     return true;
   }
@@ -163,9 +238,9 @@ bool DynTable::Adjust(std::span<const Value> key, Count c, bool add) {
   }
   Count updated = old.SaturatingSub(c);
   if (updated.IsZero()) {
-    EraseRow(row);
+    EraseRow(cur);
   } else {
-    counts_[row] = updated;
+    counts_[cur.row] = updated;
   }
   return true;
 }
@@ -174,32 +249,36 @@ void DynTable::LookupIndex(int index_id, std::span<const Value> key,
                            std::vector<uint32_t>* out) const {
   const Index& index = secondary_[static_cast<size_t>(index_id)];
   LSENS_CHECK(key.size() == index.cols.size());
-  auto [begin, end] = index.map.equal_range(HashKey(key));
-  for (auto it = begin; it != end; ++it) {
-    uint32_t row = it->second;
-    std::span<const Value> stored = RowValues(row);
-    bool match = true;
-    for (size_t i = 0; i < index.cols.size() && match; ++i) {
-      match = stored[static_cast<size_t>(index.cols[i])] == key[i];
-    }
-    if (match) out->push_back(row);
+  // HashKey over the packed key equals HashCols over a row projected onto
+  // index.cols — same values, same order, same mixing.
+  FlatRowIndex::Cursor cur =
+      index.heads.Locate(HashKey(key), [&](uint32_t head) {
+        std::span<const Value> stored = RowValues(head);
+        for (size_t i = 0; i < index.cols.size(); ++i) {
+          if (stored[static_cast<size_t>(index.cols[i])] != key[i]) {
+            return false;
+          }
+        }
+        return true;
+      });
+  for (uint32_t r = cur.row; r != FlatRowIndex::kNoRow; r = index.next[r]) {
+    out->push_back(r);
   }
 }
 
-void DynTable::IndexInsert(Index& index, uint32_t row) {
-  index.map.emplace(HashCols(RowValues(row), index.cols), row);
-}
-
-void DynTable::IndexErase(Index& index, uint32_t row) {
-  auto [begin, end] =
-      index.map.equal_range(HashCols(RowValues(row), index.cols));
-  for (auto it = begin; it != end; ++it) {
-    if (it->second == row) {
-      index.map.erase(it);
-      return;
-    }
+size_t DynTable::MemoryBytes() const {
+  size_t bytes = data_.capacity() * sizeof(Value) +
+                 counts_.capacity() * sizeof(Count) +
+                 alive_.capacity() * sizeof(uint8_t) +
+                 free_.capacity() * sizeof(uint32_t) +
+                 primary_.MemoryBytes();
+  for (const Index& index : secondary_) {
+    bytes += index.cols.capacity() * sizeof(int) +
+             index.heads.MemoryBytes() +
+             (index.next.capacity() + index.prev.capacity()) *
+                 sizeof(uint32_t);
   }
-  LSENS_CHECK_MSG(false, "DynTable secondary index lost a row");
+  return bytes;
 }
 
 }  // namespace lsens

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/count.h"
 #include "common/macros.h"
 #include "exec/counted_relation.h"
+#include "exec/flat_row_index.h"
 #include "storage/attribute_set.h"
 
 namespace lsens {
@@ -32,13 +32,36 @@ namespace lsens {
 // saturated() before repairing and fall back to full recomputation
 // (RepairInPlace in sensitivity/incremental.cc does exactly that).
 //
-// Indexes are unordered_multimaps over 64-bit key hashes with row-value
-// verification — simple and deletion-friendly, but pointer-chasing; a
-// flat open-addressing layout with tombstones is a known follow-up (see
-// ROADMAP open items).
+// Indexes are flat open-addressing arrays with tombstones (FlatRowIndex —
+// the same probing scheme as FlatGroupTable, see exec/flat_row_index.h):
+// no per-node allocation, probes walk a contiguous bucket array, and one
+// probe sequence resolves lookup, insert position, and erase, so Set and
+// Adjust hash their key exactly once. Secondary indexes keep one entry
+// per distinct projected key and chain that key's rows through intrusive
+// doubly-linked row lists, so a group lookup reads exactly the group and
+// erasing a non-head row never probes at all. Load pre-reserves every
+// index for the snapshot size; rehashes compact tombstones.
+//
+// Thread-safety: const lookups (Get / FindRow / LookupIndex / row
+// accessors) may run concurrently with each other — sharded repair reads
+// driver and input tables from several workers — and write nothing, not
+// even stats. Mutations require exclusive access; stats() counts the
+// mutating paths only.
 class DynTable {
  public:
   static constexpr uint32_t kNoRow = UINT32_MAX;
+
+  // Work counters for the mutating hot path, exposed so the single-probe
+  // contract is pinned by tests and cannot silently regress: a Set or
+  // Adjust of an existing key costs exactly one key hash and one primary
+  // probe sequence (the multimap layout this replaced hashed and probed
+  // twice), and a row insert/erase adds at most one hash per secondary
+  // index (none for erasing a non-head chain row).
+  struct Stats {
+    uint64_t key_hashes = 0;  // HashKey/HashCols evaluations
+    uint64_t locates = 0;     // primary-index probe sequences started
+    uint64_t rehashes = 0;    // index rebuilds (growth or compaction)
+  };
 
   explicit DynTable(AttributeSet attrs);
 
@@ -48,7 +71,9 @@ class DynTable {
   bool saturated() const { return saturated_; }
 
   // Replaces the contents with the rows of a normalized CountedRelation
-  // (same attrs; no default). Registered secondary indexes are rebuilt.
+  // (same attrs; no default). Registered secondary indexes are rebuilt;
+  // row storage and every index are pre-reserved for the snapshot size so
+  // the load itself never rehashes.
   void Load(const CountedRelation& rel);
 
   // Registers a secondary index on the given column positions (need not be
@@ -89,20 +114,45 @@ class DynTable {
     }
   }
 
+  // Heap footprint of the table: row storage, free list, and every index's
+  // bucket array. The byte-budget eviction policy in SensitivityCache sums
+  // this over an entry's repair state.
+  size_t MemoryBytes() const;
+
+  Stats stats() const {
+    Stats s = stats_;
+    s.rehashes = primary_.rehashes();
+    for (const Index& index : secondary_) {
+      s.rehashes += index.heads.rehashes();
+    }
+    return s;
+  }
+
  private:
   struct Index {
     std::vector<int> cols;
-    // Hash of the projected key -> row id; collisions resolved by
-    // verifying the actual row values on lookup.
-    std::unordered_multimap<uint64_t, uint32_t> map;
+    // Projected-key hash -> head row of the key's chain (one entry per
+    // distinct key; collisions resolved by verifying the head row's
+    // projected values). Duplicate-hash slots would merge into one probe
+    // cluster — group members live in the links below instead.
+    FlatRowIndex heads;
+    // Intrusive doubly-linked chain through the key's rows; kNoRow ends.
+    // prev == kNoRow marks the head. Sized like counts_.
+    std::vector<uint32_t> next;
+    std::vector<uint32_t> prev;
   };
 
   uint64_t HashCols(std::span<const Value> row,
                     std::span<const int> cols) const;
   uint64_t HashKey(std::span<const Value> key) const;
   bool KeyEquals(uint32_t row, std::span<const Value> key) const;
-  uint32_t InsertRow(std::span<const Value> key, Count c);
-  void EraseRow(uint32_t row);
+  // Places `key` into the row slots and every index. `cur` is the primary
+  // cursor of the Locate miss that established absence.
+  uint32_t InsertRow(FlatRowIndex::Cursor cur, uint64_t hash,
+                     std::span<const Value> key, Count c);
+  // Removes `row` (the hit `cur` refers to) from every index and frees it.
+  void EraseRow(FlatRowIndex::Cursor cur);
+  // Links `row` into / out of a secondary index's key chain.
   void IndexInsert(Index& index, uint32_t row);
   void IndexErase(Index& index, uint32_t row);
 
@@ -113,8 +163,9 @@ class DynTable {
   std::vector<uint32_t> free_;
   size_t live_rows_ = 0;
   bool saturated_ = false;
-  std::unordered_multimap<uint64_t, uint32_t> primary_;
+  FlatRowIndex primary_;
   std::vector<Index> secondary_;
+  Stats stats_;
 };
 
 }  // namespace lsens

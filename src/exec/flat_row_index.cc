@@ -1,0 +1,59 @@
+#include "exec/flat_row_index.h"
+
+namespace lsens {
+
+void FlatRowIndex::Clear() {
+  for (Slot& slot : slots_) slot = Slot{};
+  live_ = 0;
+  tombstones_ = 0;
+}
+
+void FlatRowIndex::Reserve(size_t entries) {
+  if (FlatProbeBucketCount(entries) > slots_.size()) Rehash(entries);
+}
+
+size_t FlatRowIndex::FindInsertSlot(uint64_t hash) {
+  FlatProbeSeq seq(hash, slots_.size() - 1);
+  uint64_t steps = 1;
+  while (slots_[seq.idx].row != kEmpty &&
+         slots_[seq.idx].row != kTombstone) {
+    seq.Next();
+    ++steps;
+  }
+  probe_steps_ += steps;
+  return seq.idx;
+}
+
+void FlatRowIndex::Rehash(size_t entries) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(FlatProbeBucketCount(entries), Slot{});
+  tombstones_ = 0;  // compaction: tombstones are not carried over
+  ++rehashes_;
+  for (const Slot& slot : old) {
+    if (slot.row == kEmpty || slot.row == kTombstone) continue;
+    slots_[FindInsertSlot(slot.hash)] = slot;
+  }
+}
+
+void FlatRowIndex::InsertAt(Cursor cur, uint64_t hash, uint32_t row) {
+  LSENS_CHECK(row < kTombstone);
+  if (NeedsRehash()) {
+    Rehash(live_ + 1);
+    cur.slot = FindInsertSlot(hash);
+  }
+  Slot& slot = slots_[cur.slot];
+  if (slot.row == kTombstone) --tombstones_;
+  slot.hash = hash;
+  slot.row = row;
+  ++live_;
+}
+
+void FlatRowIndex::EraseAt(Cursor cur) {
+  Slot& slot = slots_[cur.slot];
+  LSENS_CHECK(slot.row == cur.row && cur.row < kTombstone);
+  slot.row = kTombstone;
+  --live_;
+  ++tombstones_;
+}
+
+}  // namespace lsens

@@ -1,15 +1,13 @@
 #include "exec/hash_group_table.h"
 
-#include <bit>
-
-#include "common/rng.h"
+#include "exec/flat_row_index.h"
 
 namespace lsens {
 
 uint64_t HashRowKey(std::span<const Value> row, std::span<const int> cols) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  uint64_t h = kValueHashSeed;
   for (int c : cols) {
-    h = Mix64(h ^ static_cast<uint64_t>(row[static_cast<size_t>(c)]));
+    h = HashValueFold(h, row[static_cast<size_t>(c)]);
   }
   return h;
 }
@@ -35,8 +33,9 @@ void FlatGroupTable::Build(const CountedRelation& rel,
   rel_ = &rel;
   key_cols_.assign(key_cols.begin(), key_cols.end());
 
-  // Load factor <= 0.5: bucket count is the next power of two >= 2n.
-  const size_t cap = std::bit_ceil(std::max<size_t>(2 * n, 8));
+  // Shared flat-probe policy (exec/flat_row_index.h): power-of-two bucket
+  // array at load factor <= 0.5, linear probing.
+  const size_t cap = FlatProbeBucketCount(n);
   mask_ = cap - 1;
   slots_.assign(cap, Slot{});
   row_slot_.resize(n);
@@ -47,9 +46,9 @@ void FlatGroupTable::Build(const CountedRelation& rel,
   for (size_t i = 0; i < n; ++i) {
     std::span<const Value> row = rel.Row(i);
     const uint64_t h = HashRowKey(row, key_cols_);
-    size_t idx = h & mask_;
+    FlatProbeSeq seq(h, mask_);
     for (;;) {
-      Slot& slot = slots_[idx];
+      Slot& slot = slots_[seq.idx];
       if (slot.size == 0) {
         slot.hash = h;
         slot.rep = static_cast<uint32_t>(i);
@@ -62,9 +61,9 @@ void FlatGroupTable::Build(const CountedRelation& rel,
         ++slot.size;
         break;
       }
-      idx = (idx + 1) & mask_;
+      seq.Next();
     }
-    row_slot_[i] = static_cast<uint32_t>(idx);
+    row_slot_[i] = static_cast<uint32_t>(seq.idx);
   }
 
   // Assign each group a contiguous run in rows_, then scatter.
@@ -84,15 +83,15 @@ void FlatGroupTable::Build(const CountedRelation& rel,
 std::span<const uint32_t> FlatGroupTable::Probe(
     std::span<const Value> row, std::span<const int> probe_cols) const {
   const uint64_t h = HashRowKey(row, probe_cols);
-  size_t idx = h & mask_;
+  FlatProbeSeq seq(h, mask_);
   for (;;) {
-    const Slot& slot = slots_[idx];
+    const Slot& slot = slots_[seq.idx];
     if (slot.size == 0) return {};
     if (slot.hash == h &&
         KeysMatch(rel_->Row(slot.rep), key_cols_, row, probe_cols)) {
       return {rows_.data() + slot.begin, slot.size};
     }
-    idx = (idx + 1) & mask_;
+    seq.Next();
   }
 }
 

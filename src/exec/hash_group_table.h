@@ -16,9 +16,11 @@ uint64_t HashRowKey(std::span<const Value> row, std::span<const int> cols);
 // CountedRelation: the hash-join build side, semijoin filter, and join-size
 // estimator all sit on top of it.
 //
-// Storage is two contiguous arrays — a power-of-two bucket array (linear
-// probing on 64-bit mixed key hashes, verified against the group's
-// representative row so collisions can never produce wrong matches) and a
+// Storage is two contiguous arrays — a power-of-two bucket array (the
+// shared flat-probe scheme from exec/flat_row_index.h: linear probing on
+// 64-bit mixed key hashes at load factor <= 0.5, verified against the
+// group's representative row so collisions can never produce wrong
+// matches) and a
 // row-index array holding each group's rows as one contiguous run — so a
 // build does no per-node allocation and probes touch at most two cache
 // lines for the common single-group hit. Both arrays keep their capacity

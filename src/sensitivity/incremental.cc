@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "exec/dyn_table.h"
 #include "exec/exec_context.h"
@@ -285,6 +286,13 @@ void Project(std::span<const Value> row, const std::vector<int>& cols,
   for (int c : cols) out->push_back(row[static_cast<size_t>(c)]);
 }
 
+// Shard routing for the parallel repair stages: the shared key-hash fold
+// (storage/value.h), so Relation::CollectChangesShardedSince and this
+// always route one key to one shard.
+size_t KeyShard(std::span<const Value> key, size_t num_shards) {
+  return static_cast<size_t>(HashValues(key) % num_shards);
+}
+
 void SortUnique(std::vector<std::vector<Value>>* keys) {
   std::sort(keys->begin(), keys->end());
   keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
@@ -294,6 +302,7 @@ void SortUnique(std::vector<std::vector<Value>>* keys) {
 
 }  // namespace incremental_detail
 
+using incremental_detail::KeyShard;
 using incremental_detail::MakePlan;
 using incremental_detail::MakeSource;
 using incremental_detail::MakeTracker;
@@ -314,6 +323,8 @@ struct SensitivityCache::Entry {
   SensitivityResult result;
   std::unique_ptr<RepairState> state;  // null: memoize-only entry
   std::string unsupported_reason;      // when state is null
+  size_t state_bytes = 0;  // StateMemoryBytes(*state) as last accounted
+  bool spilled = false;    // state dropped by the byte budget
   uint64_t last_used = 0;
 };
 
@@ -326,7 +337,34 @@ SensitivityCache::SensitivityCache(SensitivityCacheConfig config)
 
 SensitivityCache::~SensitivityCache() = default;
 
-void SensitivityCache::Clear() { entries_.clear(); }
+void SensitivityCache::Clear() {
+  entries_.clear();
+  stats_.state_bytes = 0;
+}
+
+// Spills repair state, least-recently-used first, until the held DynTable
+// bytes fit the budget. Results stay memoized (unchanged versions still
+// hit); a spilled entry recomputes and re-captures on the next change.
+// Whole entries are never evicted here — max_entries owns that.
+void SensitivityCache::EnforceStateBudget(ExecContext& ctx) {
+  if (config_.max_state_bytes == 0) return;
+  while (stats_.state_bytes > config_.max_state_bytes) {
+    Entry* victim = nullptr;
+    for (const auto& e : entries_) {
+      if (e->state == nullptr || e->state_bytes == 0) continue;
+      if (victim == nullptr || e->last_used < victim->last_used) {
+        victim = e.get();
+      }
+    }
+    if (victim == nullptr) return;  // nothing left to spill
+    stats_.state_bytes -= victim->state_bytes;
+    ++stats_.spills;
+    ctx.Record("cache.spill", victim->state_bytes, 0, 0, 0.0);
+    victim->state_bytes = 0;
+    victim->state.reset();
+    victim->spilled = true;
+  }
+}
 
 std::string SensitivityCache::Fingerprint(const ConjunctiveQuery& q,
                                           const TSensComputeOptions& options) {
@@ -633,9 +671,22 @@ SensitivityResult Assemble(RepairState& state, const ConjunctiveQuery& q,
 // state became unrepairable mid-flight (saturation / inconsistent log) —
 // the caller must discard and rebuild. On success `delta_rows` and
 // `rows_touched` receive the work accounting.
+//
+// `threads` > 1 shards the repair over the global thread pool (via
+// ParallelApply on `ctx`): change-log entries and affected join-key
+// groups are hash-partitioned into per-worker shards, the pure read-only
+// work (predicate filtering, key projection, group re-aggregation) fans
+// out, and every table mutation and tracker update applies serially in a
+// scheduling-independent order. Deltas below the kShardMinWork gate stay
+// on the serial loops — a single-row update never pays a pool
+// round-trip. Repaired state, results, and all
+// counters are bit-identical to the serial repair at every thread count:
+// per-key adjustment sequences are preserved by the key-hash routing, the
+// re-aggregated sums land in per-group slots applied in sorted order, and
+// rows_touched is a sum of per-group counts, which commutes.
 bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
-                   const Database& db, uint64_t* delta_rows,
-                   uint64_t* rows_touched) {
+                   const Database& db, int threads, ExecContext& ctx,
+                   uint64_t* delta_rows, uint64_t* rows_touched) {
   // 0. A poisoned table (a saturated count was stored or an adjustment
   // was inexact) makes repair arithmetic untrustworthy: rebuild instead.
   for (const SourceState& src : state.sources) {
@@ -645,29 +696,86 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
     if (node.out.saturated()) return false;
   }
 
+  // One shard per requested thread; 1 collapses every stage to the plain
+  // serial loops (ShouldRunParallel also refuses nested regions).
+  const size_t num_shards =
+      ShouldRunParallel(threads, static_cast<size_t>(threads) + 1)
+          ? static_cast<size_t>(threads)
+          : 1;
+  // Sharding pays a pool round-trip per source and per node; below this
+  // many work items (pending changes / affected groups) the serial loop
+  // wins — the typical single-row update never leaves it. The gate reads
+  // only the data, so either outcome yields identical results.
+  constexpr size_t kShardMinWork = 32;
+
   // 1. Sources: apply the row-level deltas, collecting the touched keys.
+  // Sharded path: the change log is partitioned by projected-key hash
+  // (per-key order preserved inside a shard), predicate filtering and key
+  // projection run per shard on the pool, and the Adjust calls apply
+  // serially shard by shard — per-key adjustment sequences (and thus the
+  // final table and any underflow poisoning) match the serial path.
+  struct ProjectedChange {
+    std::vector<Value> key;
+    bool insert = true;
+  };
   std::vector<std::vector<std::vector<Value>>> source_changed(
       state.sources.size());
   std::vector<RowChange> changes;
   std::vector<Value> key;
+  std::vector<std::vector<RowChange>> shard_changes;
+  std::vector<std::vector<ProjectedChange>> shard_keys;
   for (size_t si = 0; si < state.sources.size(); ++si) {
     SourceState& src = state.sources[si];
     const Relation* rel = db.Find(src.relation);
     if (rel == nullptr) return false;
-    changes.clear();
-    if (!rel->CollectChangesSince(src.version, &changes)) return false;
-    *delta_rows += changes.size();
     const std::vector<Predicate>& preds = q.atom(src.atom_index).predicates;
-    for (const RowChange& ch : changes) {
+    auto filter_project = [&](const RowChange& ch,
+                              std::vector<ProjectedChange>* out) {
       bool pass = true;
       for (size_t p = 0; p < preds.size() && pass; ++p) {
         pass = preds[p].Eval(ch.row[src.pred_cols[p]]);
       }
-      if (!pass) continue;
-      key.clear();
-      for (size_t col : src.keep_cols) key.push_back(ch.row[col]);
-      if (!src.table.Adjust(key, Count::One(), ch.insert)) return false;
-      source_changed[si].push_back(key);
+      if (!pass) return;
+      ProjectedChange pc;
+      pc.insert = ch.insert;
+      pc.key.reserve(src.keep_cols.size());
+      for (size_t col : src.keep_cols) pc.key.push_back(ch.row[col]);
+      out->push_back(std::move(pc));
+    };
+    auto apply_shard = [&](std::vector<ProjectedChange>& shard) {
+      for (ProjectedChange& pc : shard) {
+        if (!src.table.Adjust(pc.key, Count::One(), pc.insert)) return false;
+        source_changed[si].push_back(std::move(pc.key));
+      }
+      return true;
+    };
+    if (num_shards > 1 &&
+        rel->NumChangesSince(src.version) > kShardMinWork) {
+      // (An unanswerable log reports SIZE_MAX pending changes and takes
+      // this branch only for CollectChangesShardedSince to fail — the
+      // same false the serial path returns.)
+      shard_changes.assign(num_shards, {});
+      shard_keys.assign(num_shards, {});
+      if (!rel->CollectChangesShardedSince(src.version, src.keep_cols,
+                                           num_shards, &shard_changes)) {
+        return false;
+      }
+      ParallelApply(ctx, threads, num_shards, [&](size_t s, ExecContext&) {
+        for (const RowChange& ch : shard_changes[s]) {
+          filter_project(ch, &shard_keys[s]);
+        }
+      });
+      for (size_t s = 0; s < num_shards; ++s) {
+        *delta_rows += shard_changes[s].size();
+        if (!apply_shard(shard_keys[s])) return false;
+      }
+    } else {
+      changes.clear();
+      if (!rel->CollectChangesSince(src.version, &changes)) return false;
+      *delta_rows += changes.size();
+      std::vector<ProjectedChange> projected;
+      for (const RowChange& ch : changes) filter_project(ch, &projected);
+      if (!apply_shard(projected)) return false;
     }
     src.version = rel->version();
     SortUnique(&source_changed[si]);
@@ -676,10 +784,13 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
   // 2. Nodes, in evaluation order: collect the affected output groups
   // (directly from driver changes, and via driver-index lookups from
   // changed input keys), then re-aggregate each from the current inputs.
+  // Re-aggregation reads only the driver and the already-repaired input
+  // tables, so the affected groups — disjoint work — fan out over
+  // key-hash shards; the sums land in per-group slots and are applied
+  // (with tracker maintenance) serially in sorted group order.
   std::vector<std::vector<std::vector<Value>>> node_changed(
       state.nodes.size());
   std::vector<uint32_t> rows;
-  std::vector<Value> lookup_key;
   for (size_t ni = 0; ni < state.nodes.size(); ++ni) {
     NodeState& node = state.nodes[ni];
     const DynTable& driver =
@@ -703,32 +814,69 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
       }
     }
     SortUnique(&affected);
-    for (const std::vector<Value>& g : affected) {
-      rows.clear();
-      driver.LookupIndex(node.driver_group_index, g, &rows);
-      *rows_touched += rows.size() + 1;
-      Count sum = Count::Zero();
-      for (uint32_t r : rows) {
-        std::span<const Value> row = driver.RowValues(r);
-        Count term = driver.RowCount(r);
-        for (const NodeState::Input& input : node.inputs) {
-          Project(row, input.driver_cols, &lookup_key);
-          term *= state.nodes[static_cast<size_t>(input.node)].out.Get(
-              lookup_key);
-          if (term.IsZero()) break;
-        }
-        sum += term;
+    const size_t node_shards =
+        num_shards > 1 && affected.size() > kShardMinWork ? num_shards : 1;
+    std::vector<size_t> shard_of;
+    if (node_shards > 1) {
+      shard_of.resize(affected.size());
+      for (size_t g = 0; g < affected.size(); ++g) {
+        shard_of[g] = KeyShard(affected[g], node_shards);
       }
-      Count old = node.out.Set(g, sum);
-      if (old != sum) {
-        node_changed[ni].push_back(g);
+    }
+    std::vector<Count> sums(affected.size());
+    std::vector<uint64_t> shard_touched(node_shards, 0);
+    ParallelApply(ctx, threads, node_shards, [&](size_t s, ExecContext&) {
+      std::vector<uint32_t> group_rows;
+      std::vector<Value> lookup_key;
+      uint64_t touched = 0;
+      for (size_t g = 0; g < affected.size(); ++g) {
+        if (node_shards > 1 && shard_of[g] != s) continue;
+        group_rows.clear();
+        driver.LookupIndex(node.driver_group_index, affected[g],
+                           &group_rows);
+        touched += group_rows.size() + 1;
+        Count sum = Count::Zero();
+        for (uint32_t r : group_rows) {
+          std::span<const Value> row = driver.RowValues(r);
+          Count term = driver.RowCount(r);
+          for (const NodeState::Input& input : node.inputs) {
+            Project(row, input.driver_cols, &lookup_key);
+            term *= state.nodes[static_cast<size_t>(input.node)].out.Get(
+                lookup_key);
+            if (term.IsZero()) break;
+          }
+          sum += term;
+        }
+        sums[g] = sum;
+      }
+      shard_touched[s] += touched;
+    });
+    for (size_t s = 0; s < node_shards; ++s) {
+      *rows_touched += shard_touched[s];
+    }
+    for (size_t g = 0; g < affected.size(); ++g) {
+      Count old = node.out.Set(affected[g], sums[g]);
+      if (old != sums[g]) {
+        node_changed[ni].push_back(affected[g]);
         for (const auto& [u, p] : state.node_trackers[ni]) {
-          UpdateTracker(state.trackers[u][p], g, sum);
+          UpdateTracker(state.trackers[u][p], affected[g], sums[g]);
         }
       }
     }
   }
   return true;
+}
+
+// Heap footprint of an entry's repairable state: the DynTables (row
+// storage + flat indexes) dominate; tracker argmax rows and bookkeeping
+// vectors are noise and not counted. Feeds the byte-budget spill policy.
+size_t StateMemoryBytes(const RepairState& state) {
+  size_t bytes = 0;
+  for (const SourceState& src : state.sources) {
+    bytes += src.table.MemoryBytes();
+  }
+  for (const NodeState& node : state.nodes) bytes += node.out.MemoryBytes();
+  return bytes;
 }
 
 }  // namespace
@@ -805,24 +953,33 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
       } else {
         uint64_t delta_rows = 0;
         uint64_t rows_touched = 0;
-        if (RepairInPlace(*entry->state, q, db, &delta_rows, &rows_touched)) {
+        if (RepairInPlace(*entry->state, q, db, options.join.threads, ctx,
+                          &delta_rows, &rows_touched)) {
           entry->result =
               Assemble(*entry->state, q, options, &rows_touched);
           entry->versions = *std::move(versions);
           ++stats_.repairs;
           stats_.delta_rows += delta_rows;
           stats_.repair_rows += rows_touched;
+          // Repair grows/shrinks the tables: refresh the byte accounting.
+          stats_.state_bytes -= entry->state_bytes;
+          entry->state_bytes = StateMemoryBytes(*entry->state);
+          stats_.state_bytes += entry->state_bytes;
           ctx.Record("cache.repair", delta_rows, rows_touched, 0,
                      timer.ElapsedSeconds());
+          EnforceStateBudget(ctx);
           return entry->result;
         }
         // State poisoned mid-repair (saturation / inconsistent log):
         // discard and rebuild below.
+        stats_.state_bytes -= entry->state_bytes;
+        entry->state_bytes = 0;
         entry->state.reset();
         ++stats_.fallback_stale;
       }
     } else if (versions.has_value()) {
-      ++stats_.fallback_unsupported;
+      ++(entry->spilled ? stats_.fallback_spilled
+                        : stats_.fallback_unsupported);
     }
   }
 
@@ -881,6 +1038,7 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
       for (size_t i = 1; i + 1 < entries_.size(); ++i) {
         if (entries_[i]->last_used < entries_[evict]->last_used) evict = i;
       }
+      stats_.state_bytes -= entries_[evict]->state_bytes;
       entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(evict));
       entry = entries_.back().get();
     }
@@ -891,7 +1049,12 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
   entry->relations = std::move(relations);
   entry->versions = *std::move(versions);
   entry->result = *std::move(computed);
+  stats_.state_bytes -= entry->state_bytes;  // large-delta path kept state
   entry->state = std::move(state);
+  entry->spilled = false;
+  entry->state_bytes =
+      entry->state == nullptr ? 0 : StateMemoryBytes(*entry->state);
+  stats_.state_bytes += entry->state_bytes;
   entry->unsupported_reason = plan.supported ? "" : plan.reason;
 
   // Cross-check at capture time: the assembled-from-trackers result must
@@ -910,6 +1073,7 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
       LSENS_CHECK(assembled.atoms[a].argmax == entry->result.atoms[a].argmax);
     }
   }
+  EnforceStateBudget(ctx);
   return entry->result;
 }
 

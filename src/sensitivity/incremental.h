@@ -13,6 +13,8 @@
 
 namespace lsens {
 
+class ExecContext;
+
 // Tuning knobs for SensitivityCache.
 struct SensitivityCacheConfig {
   // Change-log capacity the cache installs on every relation a cached
@@ -27,12 +29,20 @@ struct SensitivityCacheConfig {
 
   // Cached (query, options) entries kept; least-recently-used beyond this.
   size_t max_entries = 16;
+
+  // Byte budget for the repairable DynTable state held across all entries
+  // (0 = unlimited). When the total exceeds it, least-recently-used
+  // entries are *spilled* — the repair tables are dropped while the
+  // memoized result (and its version key) stays, so unchanged data still
+  // hits — before any whole entry is evicted. A spilled entry recomputes
+  // and re-captures its state on the next data change.
+  size_t max_state_bytes = 0;
 };
 
 // Counter block exposed for tests and reporting. The same events are also
 // recorded as pseudo-operators on the caller's ExecContext ("cache.hit",
-// "cache.repair", "cache.miss", "cache.fallback") so RenderExecStats shows
-// cache behavior next to the join kernels.
+// "cache.repair", "cache.miss", "cache.fallback", "cache.spill") so
+// RenderExecStats shows cache behavior next to the join kernels.
 struct SensitivityCacheStats {
   uint64_t hits = 0;     // versions matched: cached result returned as-is
   uint64_t repairs = 0;  // delta-repaired and returned
@@ -40,8 +50,11 @@ struct SensitivityCacheStats {
   uint64_t fallback_stale = 0;        // change log could not answer
   uint64_t fallback_large_delta = 0;  // delta over max_delta_fraction
   uint64_t fallback_unsupported = 0;  // shape not repairable, recomputed
+  uint64_t fallback_spilled = 0;      // state spilled by the byte budget
   uint64_t delta_rows = 0;   // change-log entries consumed by repairs
   uint64_t repair_rows = 0;  // rows touched by repairs (incl. rescans)
+  uint64_t spills = 0;       // repair states dropped by the byte budget
+  uint64_t state_bytes = 0;  // current DynTable state held, in bytes
 };
 
 // Memoizes ComputeLocalSensitivity results keyed by (query fingerprint,
@@ -71,9 +84,13 @@ class SensitivityCache {
   // Compute-or-reuse LS(Q, D). `db` is non-const only so the cache can
   // install change logs on the query's relations; contents are never
   // modified. `options.join` supplies the stats context and thread count
-  // for full computes exactly as the facade does. `options.capture` is
-  // ignored (the hook belongs to the cache: hits and repairs never run an
-  // engine, so it could not be filled consistently).
+  // for full computes exactly as the facade does — and `options.join.
+  // threads` also parallelizes delta repair itself: changed join keys are
+  // hash-partitioned into per-worker shards and the affected groups
+  // re-aggregated on the global thread pool, with results (and every
+  // counter) bit-identical to the serial repair at any thread count.
+  // `options.capture` is ignored (the hook belongs to the cache: hits and
+  // repairs never run an engine, so it could not be filled consistently).
   StatusOr<SensitivityResult> Compute(const ConjunctiveQuery& q, Database& db,
                                       const TSensComputeOptions& options = {});
 
@@ -98,6 +115,10 @@ class SensitivityCache {
 
  private:
   struct Entry;
+
+  // Spills LRU repair states until the DynTable byte total fits
+  // config_.max_state_bytes (no-op when the budget is 0/unset).
+  void EnforceStateBudget(ExecContext& ctx);
 
   SensitivityCacheConfig config_;
   SensitivityCacheStats stats_;

@@ -110,6 +110,24 @@ bool Relation::CollectChangesSince(uint64_t since,
   return true;
 }
 
+bool Relation::CollectChangesShardedSince(
+    uint64_t since, std::span<const size_t> key_cols, size_t num_shards,
+    std::vector<std::vector<RowChange>>* shards) const {
+  LSENS_CHECK(num_shards > 0 && shards->size() >= num_shards);
+  if (!log_enabled_ || since < log_base_version_ || since > version_) {
+    return false;
+  }
+  LSENS_CHECK(version_ - log_base_version_ == log_.size());
+  for (size_t i = static_cast<size_t>(since - log_base_version_);
+       i < log_.size(); ++i) {
+    const RowChange& change = log_[i];
+    uint64_t h = kValueHashSeed;
+    for (size_t col : key_cols) h = HashValueFold(h, change.row[col]);
+    (*shards)[static_cast<size_t>(h % num_shards)].push_back(change);
+  }
+  return true;
+}
+
 size_t Relation::NumChangesSince(uint64_t since) const {
   if (!log_enabled_ || since < log_base_version_ || since > version_) {
     return SIZE_MAX;

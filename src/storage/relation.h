@@ -102,6 +102,19 @@ class Relation {
   // when it would return false.
   size_t NumChangesSince(uint64_t since) const;
 
+  // Like CollectChangesSince, but routes each change to shard
+  // Mix64-hash(row projected onto `key_cols`) mod num_shards, appending to
+  // shards[s]. Every change to one key lands in one shard in log order, so
+  // shards are disjoint per-key work — the sharded delta repair in
+  // sensitivity/incremental.cc hands one shard to each worker. `shards`
+  // must hold at least num_shards vectors. Returns false exactly when
+  // CollectChangesSince would (nothing appended).
+  bool CollectChangesShardedSince(uint64_t since,
+                                  std::span<const size_t> key_cols,
+                                  size_t num_shards,
+                                  std::vector<std::vector<RowChange>>* shards)
+      const;
+
   // Column index for `column_name`, or -1.
   int ColumnIndex(const std::string& column_name) const;
 

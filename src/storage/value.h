@@ -2,6 +2,9 @@
 #define LSENS_STORAGE_VALUE_H_
 
 #include <cstdint>
+#include <span>
+
+#include "common/rng.h"
 
 namespace lsens {
 
@@ -14,6 +17,24 @@ using Value = int64_t;
 using AttrId = int32_t;
 
 inline constexpr AttrId kInvalidAttr = -1;
+
+// The 64-bit key-hash fold every hash structure in the library shares:
+// FlatGroupTable's buckets (HashRowKey), DynTable's flat indexes, and the
+// change-log / repair shard routing — the last two MUST agree pairwise so
+// one join key always lands in one shard. One definition pins that
+// coupling; column-subset callers chain HashValueFold themselves.
+inline constexpr uint64_t kValueHashSeed = 0x9e3779b97f4a7c15ULL;
+
+inline uint64_t HashValueFold(uint64_t h, Value v) {
+  return Mix64(h ^ static_cast<uint64_t>(v));
+}
+
+// Hash of a packed key row (equals folding the same values column-wise).
+inline uint64_t HashValues(std::span<const Value> values) {
+  uint64_t h = kValueHashSeed;
+  for (Value v : values) h = HashValueFold(h, v);
+  return h;
+}
 
 }  // namespace lsens
 

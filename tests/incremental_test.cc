@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -118,6 +120,58 @@ TEST(RelationVersionTest, LogWindowAndClearInvalidate) {
   rel.Clear();
   EXPECT_FALSE(rel.change_log_enabled());
   EXPECT_FALSE(rel.CollectChangesSince(rel.version(), &changes));
+}
+
+TEST(RelationVersionTest, ShardedCollectionPartitionsByKeyHash) {
+  Relation rel("R", {"a", "b"});
+  rel.EnableChangeLog(64);
+  uint64_t v0 = rel.version();
+  for (int i = 0; i < 20; ++i) {
+    rel.AppendRow({i % 5, i});
+  }
+  rel.SwapRemoveRow(0);  // removes (0, 0): same shard as its insert
+
+  const size_t kShards = 3;
+  std::vector<size_t> key_cols = {0};
+  std::vector<std::vector<RowChange>> shards(kShards);
+  ASSERT_TRUE(
+      rel.CollectChangesShardedSince(v0, key_cols, kShards, &shards));
+
+  // Every change lands in exactly one shard; equal keys share a shard and
+  // keep their log order there.
+  std::vector<RowChange> flat;
+  ASSERT_TRUE(rel.CollectChangesSince(v0, &flat));
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  EXPECT_EQ(total, flat.size());
+  std::map<Value, size_t> shard_of_key;
+  for (size_t s = 0; s < kShards; ++s) {
+    for (const RowChange& ch : shards[s]) {
+      auto it = shard_of_key.emplace(ch.row[0], s).first;
+      EXPECT_EQ(it->second, s) << "key " << ch.row[0] << " split";
+    }
+  }
+  // Per-key order inside a shard matches log order: the erase of (0, 0)
+  // appears after its insert.
+  size_t erase_shard = shard_of_key.at(0);
+  bool saw_insert = false;
+  bool ordered = false;
+  for (const RowChange& ch : shards[erase_shard]) {
+    if (ch.row == std::vector<Value>{0, 0}) {
+      if (ch.insert) {
+        saw_insert = true;
+      } else {
+        ordered = saw_insert;
+      }
+    }
+  }
+  EXPECT_TRUE(ordered);
+
+  // Same answerability contract as the flat collection.
+  std::vector<std::vector<RowChange>> unanswerable(kShards);
+  EXPECT_FALSE(rel.CollectChangesShardedSince(rel.version() + 1, key_cols,
+                                              kShards, &unanswerable));
+  for (const auto& shard : unanswerable) EXPECT_TRUE(shard.empty());
 }
 
 TEST(RelationVersionTest, SetLogsEraseTheInsert) {
@@ -397,6 +451,73 @@ TEST(SensitivityCacheTest, LruEvictionBoundsEntries) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(SensitivityCacheTest, ByteBudgetSpillsStateButKeepsResult) {
+  PaperExample ex = MakeFigure3Example();
+  SensitivityCacheConfig config;
+  config.max_state_bytes = 1;  // nothing repairable fits
+  SensitivityCache cache(config);
+  ExecContext ctx;
+  TSensComputeOptions options;
+  options.join.ctx = &ctx;
+
+  auto r1 = cache.Compute(ex.query, ex.db, options);
+  ASSERT_TRUE(r1.ok());
+  // The captured state was spilled straight away; the result survives.
+  EXPECT_EQ(cache.stats().spills, 1u);
+  EXPECT_EQ(cache.stats().state_bytes, 0u);
+  ASSERT_NE(ctx.FindStats("cache.spill"), nullptr);
+  EXPECT_GT(ctx.FindStats("cache.spill")->rows_in, 0u);
+
+  // Unchanged data: still a pure hit.
+  ASSERT_TRUE(cache.Compute(ex.query, ex.db, options).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Changed data: the spilled entry recomputes (counted separately from
+  // unsupported shapes), stays correct, and is spilled again.
+  ex.db.Find("R2")->AppendRow({1, 1});
+  auto r2 = cache.Compute(ex.query, ex.db, options);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(cache.stats().fallback_spilled, 1u);
+  EXPECT_EQ(cache.stats().fallback_unsupported, 0u);
+  EXPECT_EQ(cache.stats().spills, 2u);
+  auto fresh = ComputeLocalSensitivity(ex.query, ex.db, options);
+  ASSERT_TRUE(fresh.ok());
+  ExpectResultsIdentical(*r2, *fresh, "spilled recompute");
+}
+
+TEST(SensitivityCacheTest, ByteBudgetSpillsLruEntryFirst) {
+  PaperExample ex = MakeFigure3Example();
+  // Measure one entry's state footprint with an unbounded cache.
+  size_t one_entry_bytes = 0;
+  {
+    SensitivityCache probe;
+    ASSERT_TRUE(probe.Compute(ex.query, ex.db).ok());
+    one_entry_bytes = probe.stats().state_bytes;
+    ASSERT_GT(one_entry_bytes, 0u);
+  }
+
+  // Budget for one entry but not two: the older entry's state spills, the
+  // hot one keeps repairing.
+  SensitivityCacheConfig config;
+  config.max_state_bytes = one_entry_bytes + one_entry_bytes / 2;
+  SensitivityCache cache(config);
+  TSensComputeOptions path_on;
+  TSensComputeOptions path_off;
+  path_off.prefer_path_algorithm = false;
+  ASSERT_TRUE(cache.Compute(ex.query, ex.db, path_on).ok());
+  ASSERT_TRUE(cache.Compute(ex.query, ex.db, path_off).ok());
+  EXPECT_EQ(cache.stats().spills, 1u);
+  EXPECT_LE(cache.stats().state_bytes, config.max_state_bytes);
+
+  // The surviving (recently used) entry still repairs in place.
+  ex.db.Find("R1")->AppendRow({0, 1});
+  ASSERT_TRUE(cache.Compute(ex.query, ex.db, path_off).ok());
+  EXPECT_EQ(cache.stats().repairs, 1u);
+  // The spilled one recomputes.
+  ASSERT_TRUE(cache.Compute(ex.query, ex.db, path_on).ok());
+  EXPECT_EQ(cache.stats().fallback_spilled, 1u);
+}
+
 TEST(SensitivityCacheTest, RecordsExecContextOps) {
   PaperExample ex = MakeFigure3Example();
   ExecContext ctx;
@@ -640,7 +761,139 @@ TEST_P(IncrementalStreamTest, CyclicFallbackPrefixesMatchScratch) {
 INSTANTIATE_TEST_SUITE_P(
     Seeds, IncrementalStreamTest,
     ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3),
-                       ::testing::Values(0, 2)));
+                       ::testing::Values(0, 2, 8)));
+
+// Small deltas stay on the serial loops (the kShardMinWork gate); this
+// suite pushes batches of hundreds of changes over wide key domains so
+// both sharded repair stages — change-log partitioning and parallel group
+// re-aggregation — actually run, and must match serial and from-scratch.
+TEST(ShardedRepairTest, LargeBatchDeltasCrossTheShardingGate) {
+  for (int threads : {2, 8}) {
+    Rng rng(8675309 + static_cast<uint64_t>(threads));
+    Database db;
+    const int kDomain = 50;
+    for (const char* name : {"S1", "S2", "S3"}) {
+      Relation* rel = db.AddRelation(name, {"u", "v"});
+      for (int i = 0; i < 1000; ++i) {
+        rel->AppendRow({static_cast<Value>(rng.NextBounded(kDomain)),
+                        static_cast<Value>(rng.NextBounded(kDomain))});
+      }
+    }
+    ConjunctiveQuery q;
+    q.AddAtom(db, "S1", {"A", "B"});
+    q.AddAtom(db, "S2", {"B", "C"});
+    q.AddAtom(db, "S3", {"C", "D"});
+    Database serial_db = db.Clone();
+
+    SensitivityCacheConfig config;
+    config.max_delta_fraction = 1.0;
+    SensitivityCache sharded_cache(config);
+    SensitivityCache serial_cache(config);
+    TSensComputeOptions sharded_options = ThreadedOptions(threads);
+    TSensComputeOptions serial_options;
+    for (int step = 0; step < 4; ++step) {
+      auto a = sharded_cache.Compute(q, db, sharded_options);
+      auto b = serial_cache.Compute(q, serial_db, serial_options);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectResultsIdentical(
+          *a, *b, "batch threads " + std::to_string(threads) + " step " +
+                      std::to_string(step));
+      auto fresh = ComputeLocalSensitivity(q, db, sharded_options);
+      ASSERT_TRUE(fresh.ok());
+      ExpectResultsIdentical(*a, *fresh, "batch vs scratch step " +
+                                             std::to_string(step));
+      // One batch of ~200 inserts and ~100 deletes on a rotating
+      // relation: far over the gate, touching most join-key groups.
+      Relation* rel = db.Find(q.atom(step % 3).relation);
+      std::vector<std::vector<Value>> inserts;
+      for (int i = 0; i < 200; ++i) {
+        inserts.push_back({static_cast<Value>(rng.NextBounded(kDomain)),
+                           static_cast<Value>(rng.NextBounded(kDomain))});
+      }
+      std::vector<size_t> deletes;
+      for (size_t idx = 0; idx < 100 && idx < rel->NumRows(); ++idx) {
+        deletes.push_back(idx * 7 % rel->NumRows());
+      }
+      std::sort(deletes.begin(), deletes.end());
+      deletes.erase(std::unique(deletes.begin(), deletes.end()),
+                    deletes.end());
+      ASSERT_TRUE(rel->ApplyDelta(inserts, deletes).ok());
+      ASSERT_TRUE(serial_db.Find(q.atom(step % 3).relation)
+                      ->ApplyDelta(inserts, deletes)
+                      .ok());
+    }
+    EXPECT_GT(sharded_cache.stats().repairs, 0u);
+    EXPECT_EQ(sharded_cache.stats().repairs, serial_cache.stats().repairs);
+    EXPECT_EQ(sharded_cache.stats().delta_rows,
+              serial_cache.stats().delta_rows);
+    EXPECT_EQ(sharded_cache.stats().repair_rows,
+              serial_cache.stats().repair_rows);
+  }
+}
+
+// A byte budget too small for any state degrades the cache to a memoizer:
+// every step recomputes, every answer stays correct.
+TEST(SensitivityCacheTest, ByteBudgetedStreamStaysCorrect) {
+  Rng rng(2718);
+  PaperExample ex = MakeFigure3Example();
+  SensitivityCacheConfig config;
+  config.max_state_bytes = 1;
+  config.max_delta_fraction = 1.0;
+  SensitivityCache cache(config);
+  for (int step = 0; step < 10; ++step) {
+    auto cached = cache.Compute(ex.query, ex.db);
+    ASSERT_TRUE(cached.ok());
+    auto fresh = ComputeLocalSensitivity(ex.query, ex.db);
+    ASSERT_TRUE(fresh.ok());
+    ExpectResultsIdentical(*cached, *fresh,
+                           "budget step " + std::to_string(step));
+    RandomMutation(rng, ex.query, ex.db, 3);
+  }
+  EXPECT_GT(cache.stats().spills, 0u);
+  EXPECT_EQ(cache.stats().repairs, 0u);  // nothing survives to repair
+}
+
+// Sharded repair must be bit-identical to serial repair — results AND
+// work counters — so two caches replaying the same stream at different
+// thread counts may never disagree on anything observable.
+TEST(ShardedRepairTest, MatchesSerialRepairIncludingCounters) {
+  for (int threads : {2, 8}) {
+    Rng rng(314159);
+    PaperExample serial_ex = MakeFigure3Example();
+    PaperExample sharded_ex = MakeFigure3Example();
+    SensitivityCacheConfig config;
+    config.max_delta_fraction = 1.0;
+    SensitivityCache serial_cache(config);
+    SensitivityCache sharded_cache(config);
+    TSensComputeOptions serial_options;   // threads = 0
+    TSensComputeOptions sharded_options = ThreadedOptions(threads);
+    for (int step = 0; step < 16; ++step) {
+      auto a = serial_cache.Compute(serial_ex.query, serial_ex.db,
+                                    serial_options);
+      auto b = sharded_cache.Compute(sharded_ex.query, sharded_ex.db,
+                                     sharded_options);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectResultsIdentical(
+          *a, *b, "threads " + std::to_string(threads) + " step " +
+                      std::to_string(step));
+      // The same mutation stream hits both databases.
+      Rng mutation_rng(rng.NextBounded(1u << 30));
+      Rng mutation_rng_copy = mutation_rng;
+      RandomMutation(mutation_rng, serial_ex.query, serial_ex.db, 3);
+      RandomMutation(mutation_rng_copy, sharded_ex.query, sharded_ex.db, 3);
+    }
+    EXPECT_GT(serial_cache.stats().repairs, 0u);
+    EXPECT_EQ(serial_cache.stats().repairs, sharded_cache.stats().repairs);
+    EXPECT_EQ(serial_cache.stats().delta_rows,
+              sharded_cache.stats().delta_rows);
+    EXPECT_EQ(serial_cache.stats().repair_rows,
+              sharded_cache.stats().repair_rows);
+    EXPECT_EQ(serial_cache.stats().fallback_stale,
+              sharded_cache.stats().fallback_stale);
+  }
+}
 
 // --- asymptotic work bound ----------------------------------------------
 
