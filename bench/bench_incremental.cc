@@ -1,8 +1,9 @@
 // Incremental sensitivity maintenance under update streams: replays
-// randomized single-row insert/delete streams over the acyclic-tree, path,
-// and TPC-H q1 workloads — once per LSENS_THREADS entry, on identically
-// rebuilt databases, so serial and sharded repair are compared on the same
-// stream — checking a SensitivityCache repair against a from-scratch
+// randomized single-row insert/delete streams over the path, acyclic-tree,
+// TPC-H q1, cyclic-triangle (searched GHD), and disconnected-forest
+// workloads — once per LSENS_THREADS entry, on identically rebuilt
+// databases, so serial and sharded repair are compared on the same stream
+// — checking a SensitivityCache repair against a from-scratch
 // ComputeLocalSensitivity along the way. Also runs the repair-index
 // microbench: the flat open-addressing DynTable against the
 // unordered_multimap-indexed layout it replaced, on the same op stream.
@@ -12,10 +13,14 @@
 //
 // Exits non-zero (failing the CTest smoke) when a repairable stream's
 // rows-touched ratio exceeds LSENS_INC_MAX_ROW_RATIO — the pinned
-// asymptotic-work threshold — or when the flat/multimap checksums diverge.
+// asymptotic-work threshold — when any stream hits an unsupported-shape
+// fallback (every bench shape is repairable), or when the flat/multimap
+// checksums diverge.
 //
 // Knobs:
 //   LSENS_INC_ROWS          rows per synthetic relation   (default 100000)
+//   LSENS_INC_TRI_ROWS      rows per triangle relation    (default
+//                           LSENS_INC_ROWS / 20; the bag join is quadratic)
 //   LSENS_INC_DOMAIN        synthetic join-key domain     (default 1000)
 //   LSENS_INC_UPDATES       stream length                 (default 200)
 //   LSENS_INC_CHECK_EVERY   full-recompute cadence        (default 25)
@@ -60,6 +65,7 @@ struct StreamResult {
   double full_rows = 0;       // rows processed by one full compute
   uint64_t repairs = 0;
   uint64_t fallbacks = 0;
+  uint64_t fallback_unsupported = 0;  // must stay 0: every shape repairs
   uint64_t final_ls = 0;      // last repaired LS (thread-count invariant)
 };
 
@@ -150,6 +156,7 @@ StreamResult ReplayStream(const std::string& name, const ConjunctiveQuery& q,
                   cache.stats().fallback_large_delta +
                   cache.stats().fallback_unsupported +
                   cache.stats().fallback_spilled;
+  out.fallback_unsupported = cache.stats().fallback_unsupported;
   return out;
 }
 
@@ -475,11 +482,12 @@ bool WriteJson(const std::vector<StreamResult>& results,
         "\"repair_ns_per_update\": %.1f, \"full_ns\": %.1f, "
         "\"speedup\": %.2f, \"repair_rows_per_update\": %.1f, "
         "\"full_rows\": %.1f, \"row_ratio\": %.6f, \"repairs\": %" PRIu64
-        ", \"fallbacks\": %" PRIu64 "},\n",
+        ", \"fallbacks\": %" PRIu64 ", \"fallback_unsupported\": %" PRIu64
+        "},\n",
         r.name.c_str(), r.rows, r.updates, r.threads, r.repair_ns, r.full_ns,
         r.repair_ns > 0 ? r.full_ns / r.repair_ns : 0.0, r.repair_rows,
         r.full_rows, r.full_rows > 0 ? r.repair_rows / r.full_rows : 0.0,
-        r.repairs, r.fallbacks);
+        r.repairs, r.fallbacks, r.fallback_unsupported);
   }
   std::fprintf(f,
                "  {\"name\": \"repair_index_micro\", \"rows\": %ld, "
@@ -495,6 +503,8 @@ bool WriteJson(const std::vector<StreamResult>& results,
 
 int Run() {
   const long rows = bench::EnvInt("LSENS_INC_ROWS", 100000);
+  const long tri_rows =
+      bench::EnvInt("LSENS_INC_TRI_ROWS", std::max<long>(1000, rows / 20));
   const long domain = bench::EnvInt("LSENS_INC_DOMAIN", 1000);
   const long updates = bench::EnvInt("LSENS_INC_UPDATES", 200);
   const long check_every =
@@ -562,6 +572,38 @@ int Run() {
                                    check_every, t, Rng(417003)));
     PrintResult(results.back());
   }
+  for (long t : threads_axis) {
+    // Triangle (cyclic): repaired through the searched GHD's bag tables.
+    // One bag joins two atoms, so a full compute materializes a quadratic
+    // bag join — smaller relations keep the baseline affordable.
+    Rng rng(20200714);
+    Database db = MakeSyntheticDb(
+        rng, {"C1", "C2", "C3"}, {{"a", "b"}, {"b", "c"}, {"c", "a"}},
+        tri_rows, domain);
+    ConjunctiveQuery q;
+    q.AddAtom(db, "C1", {"A", "B"});
+    q.AddAtom(db, "C2", {"B", "C"});
+    q.AddAtom(db, "C3", {"C", "A"});
+    results.push_back(ReplayStream("triangle", q, db, {}, updates,
+                                   check_every, t, Rng(417004)));
+    PrintResult(results.back());
+  }
+  for (long t : threads_axis) {
+    // Disconnected forest (two 2-atom trees): repairs in one tree
+    // re-multiply the other tree's scale factor from its maintained total.
+    Rng rng(20200715);
+    Database db = MakeSyntheticDb(
+        rng, {"F1", "F2", "F3", "F4"},
+        {{"a", "b"}, {"b", "c"}, {"x", "y"}, {"y", "z"}}, rows, domain);
+    ConjunctiveQuery q;
+    q.AddAtom(db, "F1", {"A", "B"});
+    q.AddAtom(db, "F2", {"B", "C"});
+    q.AddAtom(db, "F3", {"X", "Y"});
+    q.AddAtom(db, "F4", {"Y", "Z"});
+    results.push_back(ReplayStream("disconnected", q, db, {}, updates,
+                                   check_every, t, Rng(417005)));
+    PrintResult(results.back());
+  }
 
   // Cross-thread-count invariant: identical streams must end on identical
   // sensitivities regardless of repair sharding.
@@ -593,6 +635,20 @@ int Run() {
                    " rows, over the pinned %.4f%% ceiling\n",
                    r.name.c_str(), r.threads, 100.0 * ratio,
                    100.0 * max_row_ratio);
+      ok = false;
+    }
+  }
+
+  // Every bench shape — path, tree, TPC-H, cyclic, disconnected — has a
+  // delta rule; an unsupported-shape fallback on any stream is a
+  // regression in plan construction.
+  for (const StreamResult& r : results) {
+    if (r.fallback_unsupported != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s (threads %ld) hit %" PRIu64
+                   " unsupported-shape fallbacks; every bench shape must"
+                   " repair\n",
+                   r.name.c_str(), r.threads, r.fallback_unsupported);
       ok = false;
     }
   }

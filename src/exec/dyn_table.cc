@@ -267,11 +267,17 @@ void DynTable::LookupIndex(int index_id, std::span<const Value> key,
 }
 
 size_t DynTable::MemoryBytes() const {
-  size_t bytes = data_.capacity() * sizeof(Value) +
+  size_t bytes = attrs_.capacity() * sizeof(AttrId) +
+                 data_.capacity() * sizeof(Value) +
                  counts_.capacity() * sizeof(Count) +
                  alive_.capacity() * sizeof(uint8_t) +
                  free_.capacity() * sizeof(uint32_t) +
-                 primary_.MemoryBytes();
+                 primary_.MemoryBytes() +
+                 // The Index structs themselves (cols/next/prev vector
+                 // headers and the embedded FlatRowIndex) live in
+                 // secondary_'s heap block; the chains below only add the
+                 // out-of-line arrays.
+                 secondary_.capacity() * sizeof(Index);
   for (const Index& index : secondary_) {
     bytes += index.cols.capacity() * sizeof(int) +
              index.heads.MemoryBytes() +

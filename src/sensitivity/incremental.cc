@@ -14,27 +14,38 @@
 
 namespace lsens {
 
-// Internal machinery. The repairable state mirrors the two engines' data
-// flow as a DAG of group tables:
+// Internal machinery. The repairable state mirrors the engines' data flow
+// as a DAG of maintained tables:
 //
-//   sources  S_a = γ_keep(σ_pred(R_a))           one per atom / position
-//   nodes    out = γ_group(driver ⋈ inputs...)   the ⊥/⊤ fold tables
+//   sources      S_a = γ_keep(σ_pred(R_a))           one per atom / position
+//   group nodes  out = γ_group(driver ⋈ inputs...)   the ⊥/⊤ fold tables
+//   join nodes   out[t] = Π_i pieces[i][proj_i(t)]   materialized r⋈
 //
-// where every node's inputs are keyed on column subsets of its driver
-// (running intersection guarantees this for join trees), so a node's group
-// `g` re-aggregates as
+// A group node's inputs are keyed on column subsets of its driver (running
+// intersection guarantees this for join trees), so a node's group `g`
+// re-aggregates as
 //
 //   out[g] = Σ_{driver rows r, r.group = g} cnt(r) · Π_i inputs[i][r.key_i]
 //
 // — the exact multiset of saturating products the from-scratch FoldJoin +
 // GroupBySum pipeline sums, which is why repaired tables are bit-identical
-// (saturating + and · are order-independent over a fixed multiset). A
-// repair pass applies the relations' row deltas to the sources, then walks
-// the nodes in evaluation order re-aggregating only groups reachable from
-// a changed key. Per-piece max/argmax trackers maintain the engines'
-// predicate-filtered MaxCount/ArgMaxRow (first — i.e. lexicographically
-// smallest — row attaining the max), falling back to a table rescan only
-// when the tracked argmax group itself decays.
+// (saturating + and · are order-independent over a fixed multiset). Where
+// no single relation covers a fold — multi-atom GHD bags, multiplicity-
+// table components whose pieces share attributes, the per-tree root folds
+// behind the §5.4 cross-tree totals — a join node materializes the fold
+// itself: pieces are normalized, so every output row combines exactly one
+// row per piece and its count is a pure product, recomputable per row from
+// point lookups. A repair pass applies the relations' row deltas to the
+// sources, then walks the nodes in evaluation order re-aggregating only
+// groups (or join rows) reachable from a changed key; newly joinable rows
+// of a join node are enumerated by extending each changed piece key
+// through the other pieces' secondary indexes. Per-piece max/argmax
+// trackers maintain the engines' predicate-filtered MaxCount/ArgMaxRow
+// (first — i.e. lexicographically smallest — row attaining the max),
+// falling back to a table rescan only when the tracked argmax group
+// itself decays. Disconnected forests additionally keep one running join
+// total per tree (exact subtract-old/add-new per changed root-fold row),
+// re-multiplied into every atom's scale factor at assembly.
 namespace incremental_detail {
 
 namespace {
@@ -58,12 +69,14 @@ bool LexLess(std::span<const Value> a, std::span<const Value> b) {
 
 }  // namespace
 
-// One max/argmax view of a node's table (or of the unit relation when
-// node < 0), filtered by an atom's predicates — the incremental stand-in
-// for the engines' `ApplyPredicates + MaxCount + ArgMaxRow` on one
-// multiplicity-table piece.
+// One max/argmax view of a maintained table — a node's output, a source's
+// S table, or the unit relation when neither index is set — filtered by an
+// atom's predicates: the incremental stand-in for the engines'
+// `ApplyPredicates + MaxCount + ArgMaxRow` on one multiplicity-table
+// piece. At most one of node/source is >= 0.
 struct Tracker {
   int node = -1;
+  int source = -1;
   std::vector<std::pair<int, Predicate>> checks;  // (column, predicate)
   Count max = Count::Zero();
   std::vector<Value> argmax;  // lexmin row attaining max; empty when none
@@ -89,47 +102,113 @@ struct SourceState {
   uint64_t version = 0;
 };
 
-// Incrementally maintained fold table (one botjoin/topjoin level).
+// A reference to one maintained table of the DAG: a source's S table or an
+// earlier node's output. Exactly one of the two indexes is set (or neither,
+// for the unit relation in tracker targets).
+struct TableRef {
+  int source = -1;
+  int node = -1;
+};
+
+// One incrementally maintained fold table. Two kinds:
+//
+//   kGroup — out = γ_group(driver ⋈ inputs...): the legacy ⊥/⊤ form. The
+//   driver is a source (inputs keyed on driver columns), or a join node's
+//   output (a γ over a materialized fold; inputs stay empty — the join
+//   already folded everything in).
+//
+//   kJoin — out = r⋈(pieces...): the materialized fold of pieces no single
+//   relation covers (multi-atom bags, attribute-sharing multiplicity-table
+//   components, per-tree root folds). Pieces are normalized, so every
+//   output row combines exactly one row per piece and carries their
+//   saturating count product over scope = ∪ piece attrs.
 struct NodeState {
+  enum class Kind { kGroup, kJoin };
+
   struct Input {
     int node = -1;                 // producer (already repaired this pass)
     std::vector<int> driver_cols;  // driver columns forming its key
     int driver_index = -1;         // secondary index on the driver for them
   };
 
-  int source = -1;                // driver S table
-  std::vector<int> group_cols;    // driver columns forming the out key
-  int driver_group_index = -1;    // secondary index on the driver for them
+  // One expansion step for a changed key of an origin piece: probe this
+  // piece's table on the columns it shares with the scope attributes bound
+  // so far and extend each partial scope row with the matches.
+  struct Expand {
+    size_t piece = 0;                   // index into `pieces`
+    int index = -1;                     // secondary index on its table
+    std::vector<int> probe_scope_cols;  // scope columns carrying the key
+  };
+
+  struct Piece {
+    TableRef ref;
+    std::vector<int> scope_cols;  // scope column per piece-table column
+    int out_index = -1;           // index on `out` over scope_cols
+    std::vector<Expand> expands;  // the other pieces, in piece order
+  };
+
+  explicit NodeState(DynTable out_table) : out(std::move(out_table)) {}
+
+  Kind kind = Kind::kGroup;
+
+  // kGroup
+  TableRef driver;
+  std::vector<int> group_cols;  // driver columns forming the out key
+  int driver_group_index = -1;  // secondary index on the driver for them
   std::vector<Input> inputs;
+
+  // kJoin
+  std::vector<Piece> pieces;
+
   DynTable out;
 };
 
 struct RepairState {
-  enum class Mode { kConstant, kPath, kTree };
+  enum class Mode { kConstant, kPath, kGhd };
 
   Mode mode = Mode::kConstant;
   std::vector<SourceState> sources;
   std::vector<NodeState> nodes;  // in evaluation order
   // Result assembly: unit u covers atom assembly_atoms[u] with the pieces
   // trackers[u] (engine piece order). Path mode assembles per chain
-  // position, tree mode per atom.
+  // position, GHD mode per atom.
   std::vector<int> assembly_atoms;
   std::vector<std::vector<Tracker>> trackers;
-  // node -> (unit, piece) refs, for O(1) tracker updates during repair.
+  // table -> (unit, piece) refs, for O(1) tracker updates during repair.
   std::vector<std::vector<std::pair<size_t, size_t>>> node_trackers;
+  std::vector<std::vector<std::pair<size_t, size_t>>> source_trackers;
+  // §5.4 disconnected forests: the running join total per decomposition
+  // tree, the node materializing each tree's root fold, and the tree each
+  // assembly unit's atom lives in. All empty for single-tree forests —
+  // the scale factor is then an empty product.
+  std::vector<Count> tree_totals;
+  std::vector<int> total_nodes;    // node index per tree
+  std::vector<int> assembly_tree;  // tree per assembly unit
 };
+
+const DynTable& TrackedTable(const RepairState& state, const Tracker& t) {
+  return t.source >= 0 ? state.sources[static_cast<size_t>(t.source)].table
+                       : state.nodes[static_cast<size_t>(t.node)].out;
+}
 
 // The execution plan the facade would pick, from the cache's perspective.
 struct Plan {
   RepairState::Mode mode = RepairState::Mode::kConstant;
   bool supported = false;
-  std::string reason;            // when !supported
-  std::vector<int> order;        // kPath
-  std::optional<JoinTree> tree;  // kTree
+  std::string reason;      // when !supported
+  std::vector<int> order;  // kPath
+  std::optional<Ghd> ghd;  // kGhd
 };
 
 namespace {
 
+// Mirrors the facade dispatch in tsens.cc ComputeLocalSensitivity exactly,
+// so the capture run below executes the same engine over the same
+// decomposition the facade would pick and BuildState consumes matching
+// tables. Only top_k and keep_tables remain unsupported: both change what
+// the engines compute (truncated tables / retained T_a's) in ways the
+// maintained state deliberately does not model, so they stay
+// version-memoized fallbacks.
 Plan MakePlan(const ConjunctiveQuery& q, const TSensComputeOptions& options) {
   Plan plan;
   auto unsupported = [&](std::string reason) {
@@ -137,61 +216,43 @@ Plan MakePlan(const ConjunctiveQuery& q, const TSensComputeOptions& options) {
     plan.reason = std::move(reason);
     return plan;
   };
-  if (options.ghd != nullptr) return unsupported("explicit GHD supplied");
   if (options.top_k > 0) return unsupported("top-k approximation");
   if (options.keep_tables) return unsupported("keep_tables requested");
-  auto forest = BuildJoinForestGYO(q);
-  if (!forest.ok()) return unsupported("cyclic query (GHD search)");
-  if (options.prefer_path_algorithm) {
-    std::vector<int> order = PathOrder(q);
-    if (order.size() >= 2) {
-      plan.mode = RepairState::Mode::kPath;
-      plan.order = std::move(order);
-      plan.supported = true;
-      return plan;
-    }
-  }
-  if (q.num_atoms() == 1) {
-    // A single-atom query's sensitivity is data-independent (inserting one
-    // matching tuple always changes the count by exactly 1).
-    plan.mode = RepairState::Mode::kConstant;
+  if (options.ghd != nullptr) {
+    plan.mode = RepairState::Mode::kGhd;
+    plan.ghd = *options.ghd;
     plan.supported = true;
     return plan;
   }
-  if (forest->trees.size() != 1) {
-    return unsupported("disconnected query (cross-tree scale factors)");
-  }
-  const JoinTree& tree = forest->trees[0];
-  if (tree.size() != static_cast<size_t>(q.num_atoms())) {
-    return unsupported("join tree does not cover the query");
-  }
-  auto link_of = [&](int atom) {
-    return Intersect(q.atom(atom).VarSet(),
-                     q.atom(tree.Parent(atom)).VarSet());
-  };
-  for (int a : tree.members()) {
-    if (tree.Parent(a) != -1 && link_of(a).empty()) {
-      return unsupported("empty join-tree link");
-    }
-  }
-  // Every atom's multiplicity-table pieces (⊤(a) and the children's ⊥)
-  // must be pairwise attribute-disjoint, so T_a stays a cross product of
-  // maintained tables and its max factorizes over the per-piece trackers.
-  for (int a : tree.members()) {
-    std::vector<AttributeSet> piece_attrs;
-    if (tree.Parent(a) != -1) piece_attrs.push_back(link_of(a));
-    for (int c : tree.Children(a)) piece_attrs.push_back(link_of(c));
-    for (size_t i = 0; i < piece_attrs.size(); ++i) {
-      for (size_t j = i + 1; j < piece_attrs.size(); ++j) {
-        if (Intersects(piece_attrs[i], piece_attrs[j])) {
-          return unsupported("atom pieces share attributes (T_a would not"
-                             " factorize)");
-        }
+  auto forest = BuildJoinForestGYO(q);
+  if (forest.ok()) {
+    if (options.prefer_path_algorithm) {
+      std::vector<int> order = PathOrder(q);
+      if (order.size() >= 2) {
+        plan.mode = RepairState::Mode::kPath;
+        plan.order = std::move(order);
+        plan.supported = true;
+        return plan;
       }
     }
+    if (q.num_atoms() == 1) {
+      // A single-atom query's sensitivity is data-independent (inserting
+      // one matching tuple always changes the count by exactly 1).
+      plan.mode = RepairState::Mode::kConstant;
+      plan.supported = true;
+      return plan;
+    }
+    plan.mode = RepairState::Mode::kGhd;
+    plan.ghd = MakeTrivialGhd(q, *forest);
+    plan.supported = true;
+    return plan;
   }
-  plan.mode = RepairState::Mode::kTree;
-  plan.tree = tree;
+  // Cyclic: the facade searches a GHD once per call; the cache searches it
+  // once per fingerprint and pins the result in the plan.
+  auto searched = SearchGhd(q, q.num_atoms());
+  if (!searched.ok()) return unsupported("cyclic query (GHD search failed)");
+  plan.mode = RepairState::Mode::kGhd;
+  plan.ghd = *std::move(searched);
   plan.supported = true;
   return plan;
 }
@@ -215,13 +276,13 @@ SourceState MakeSource(const ConjunctiveQuery& q, int atom_index,
   return src;
 }
 
-Tracker MakeTracker(const ConjunctiveQuery& q, int atom_index, int node,
+Tracker MakeTracker(const ConjunctiveQuery& q, int atom_index, TableRef ref,
                     const RepairState& state) {
   Tracker t;
-  t.node = node;
-  if (node >= 0) {
-    const AttributeSet& attrs =
-        state.nodes[static_cast<size_t>(node)].out.attrs();
+  t.node = ref.node;
+  t.source = ref.source;
+  if (ref.node >= 0 || ref.source >= 0) {
+    const AttributeSet& attrs = TrackedTable(state, t).attrs();
     for (const Predicate& p : q.atom(atom_index).predicates) {
       auto it = std::lower_bound(attrs.begin(), attrs.end(), p.var);
       if (it != attrs.end() && *it == p.var) {
@@ -238,8 +299,8 @@ Tracker MakeTracker(const ConjunctiveQuery& q, int atom_index, int node,
 // Full recomputation of a tracker from its table (also the initial fill).
 void RescanTracker(Tracker& t, const RepairState& state,
                    uint64_t* rows_touched) {
-  if (t.node < 0) return;
-  const DynTable& table = state.nodes[static_cast<size_t>(t.node)].out;
+  if (t.node < 0 && t.source < 0) return;
+  const DynTable& table = TrackedTable(state, t);
   t.max = Count::Zero();
   t.argmax.clear();
   table.ForEachRow([&](uint32_t r) {
@@ -260,7 +321,7 @@ void RescanTracker(Tracker& t, const RepairState& state,
 // O(1) maintenance under one group change; marks dirty when only a rescan
 // can re-establish the engines' first-attaining-row tie-break.
 void UpdateTracker(Tracker& t, std::span<const Value> key, Count value) {
-  if (t.dirty || t.node < 0 || !t.Passes(key)) return;
+  if (t.dirty || (t.node < 0 && t.source < 0) || !t.Passes(key)) return;
   if (value > t.max) {
     t.max = value;
     t.argmax.assign(key.begin(), key.end());
@@ -313,6 +374,8 @@ using incremental_detail::RepairState;
 using incremental_detail::RescanTracker;
 using incremental_detail::SortUnique;
 using incremental_detail::SourceState;
+using incremental_detail::TableRef;
+using incremental_detail::TrackedTable;
 using incremental_detail::Tracker;
 using incremental_detail::UpdateTracker;
 
@@ -332,6 +395,11 @@ SensitivityCache::SensitivityCache(SensitivityCacheConfig config)
     : config_(config) {
   // At least the entry being inserted must survive an eviction sweep.
   config_.max_entries = std::max<size_t>(1, config_.max_entries);
+  // The delta gate compares change counts against fraction * (rows +
+  // changes); outside [0, 1] the fraction either always or never rejects
+  // in surprising ways, so clamp to the meaningful range.
+  config_.max_delta_fraction =
+      std::clamp(config_.max_delta_fraction, 0.0, 1.0);
   LSENS_CHECK(config_.changelog_capacity > 0);
 }
 
@@ -393,6 +461,14 @@ std::string SensitivityCache::Fingerprint(const ConjunctiveQuery& q,
       for (int a : bag.atom_indices) out << a << ',';
       out << '}';
     }
+    // Two GHDs over identical bags can differ in forest shape, and the
+    // repair state is wired to one shape — distinguish them.
+    out << "|forest=";
+    for (const JoinTree& tree : options.ghd->forest.trees) {
+      out << '(';
+      for (int b : tree.members()) out << b << ':' << tree.Parent(b) << ',';
+      out << ')';
+    }
   }
   return out.str();
 }
@@ -407,11 +483,17 @@ bool SensitivityCache::RepairSupported(const ConjunctiveQuery& q,
 
 namespace {
 
+bool ContainsAtom(const std::vector<int>& skip_atoms, int atom) {
+  return std::find(skip_atoms.begin(), skip_atoms.end(), atom) !=
+         skip_atoms.end();
+}
+
 // Builds the repairable state for a supported plan from the engine capture
 // (the exact tables the from-scratch answer was computed from).
 std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
                                         const Plan& plan,
-                                        TSensCapture capture) {
+                                        TSensCapture capture,
+                                        const std::vector<int>& skip_atoms) {
   auto state = std::make_unique<RepairState>();
   state->mode = plan.mode;
   if (plan.mode == RepairState::Mode::kConstant) return state;
@@ -443,11 +525,9 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
                         std::optional<NodeState::Input> input,
                         const CountedRelation& snapshot) {
       SourceState& driver = state->sources[static_cast<size_t>(source)];
-      NodeState node{source,
-                     incremental_detail::ColsOf(driver.keep, {group_attr}),
-                     -1,
-                     {},
-                     DynTable(AttributeSet{group_attr})};
+      NodeState node{DynTable(AttributeSet{group_attr})};
+      node.driver = TableRef{source, -1};
+      node.group_cols = incremental_detail::ColsOf(driver.keep, {group_attr});
       node.driver_group_index = driver.table.AddIndex(node.group_cols);
       if (input.has_value()) {
         input->driver_index = driver.table.AddIndex(input->driver_cols);
@@ -487,17 +567,17 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
     state->trackers.resize(m);
     for (size_t i = 0; i < m; ++i) {
       state->trackers[i].push_back(MakeTracker(
-          q, order[i], i == 0 ? -1 : top_node[i], *state));
+          q, order[i], TableRef{-1, i == 0 ? -1 : top_node[i]}, *state));
       state->trackers[i].push_back(MakeTracker(
-          q, order[i], i + 1 == m ? -1 : bot_node[i + 1], *state));
+          q, order[i], TableRef{-1, i + 1 == m ? -1 : bot_node[i + 1]},
+          *state));
     }
   } else {
-    const JoinTree& tree = *plan.tree;
+    const Ghd& ghd = *plan.ghd;
     const int num_atoms = q.num_atoms();
-    auto link_of = [&](int atom) {
-      return Intersect(q.atom(atom).VarSet(),
-                       q.atom(tree.Parent(atom)).VarSet());
-    };
+    const size_t num_bags = ghd.bags.size();
+    const size_t num_trees = ghd.forest.trees.size();
+
     for (int a = 0; a < num_atoms; ++a) {
       state->sources.push_back(MakeSource(q, a, q.SharedVarsOf(a)));
       LSENS_CHECK(capture.s[static_cast<size_t>(a)].attrs() ==
@@ -505,73 +585,297 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
       state->sources[static_cast<size_t>(a)].table.Load(
           capture.s[static_cast<size_t>(a)]);
     }
-    std::vector<int> bot_node(static_cast<size_t>(num_atoms), -1);
-    std::vector<int> top_node(static_cast<size_t>(num_atoms), -1);
-    auto add_node = [&](int source, const AttributeSet& group,
-                        std::vector<NodeState::Input> inputs,
-                        const CountedRelation& snapshot) {
-      SourceState& driver = state->sources[static_cast<size_t>(source)];
-      NodeState node{source, incremental_detail::ColsOf(driver.keep, group),
-                     -1, std::move(inputs), DynTable(group)};
-      node.driver_group_index = driver.table.AddIndex(node.group_cols);
-      for (NodeState::Input& input : node.inputs) {
-        input.driver_index = driver.table.AddIndex(input.driver_cols);
+
+    auto table_of = [&](TableRef ref) -> DynTable& {
+      return ref.source >= 0
+                 ? state->sources[static_cast<size_t>(ref.source)].table
+                 : state->nodes[static_cast<size_t>(ref.node)].out;
+    };
+    auto attrs_of = [&](TableRef ref) -> const AttributeSet& {
+      return table_of(ref).attrs();
+    };
+
+    // γ_group over a driver: a source with its per-key inputs, or a
+    // materialized join node's output (inputs empty — already folded in).
+    auto add_group_node = [&](TableRef driver, const AttributeSet& group,
+                              std::vector<NodeState::Input> inputs,
+                              const CountedRelation& snapshot) {
+      NodeState node{DynTable(group)};
+      node.kind = NodeState::Kind::kGroup;
+      node.driver = driver;
+      node.group_cols = incremental_detail::ColsOf(attrs_of(driver), group);
+      {
+        DynTable& driver_table = table_of(driver);
+        node.driver_group_index = driver_table.AddIndex(node.group_cols);
+        node.inputs = std::move(inputs);
+        for (NodeState::Input& input : node.inputs) {
+          input.driver_index = driver_table.AddIndex(input.driver_cols);
+        }
       }
       LSENS_CHECK(snapshot.attrs() == node.out.attrs());
       node.out.Load(snapshot);
       state->nodes.push_back(std::move(node));
       return static_cast<int>(state->nodes.size() - 1);
     };
-    // ⊥ in post-order: ⊥(v) = γ_link(v)(S_v ⋈ {⊥(c)}), driven by S_v.
-    for (int v : tree.PostOrder()) {
-      if (tree.Parent(v) == -1) continue;
-      const AttributeSet& driver_keep =
-          state->sources[static_cast<size_t>(v)].keep;
-      std::vector<NodeState::Input> inputs;
-      for (int c : tree.Children(v)) {
-        inputs.push_back(NodeState::Input{
-            bot_node[static_cast<size_t>(c)],
-            incremental_detail::ColsOf(driver_keep, link_of(c)), -1});
+
+    // Materialized r⋈ of `piece_refs` over scope = ∪ piece attrs, loaded
+    // from the engine's fold snapshot. Expansion plans: a changed key of
+    // piece i enumerates the newly joinable scope tuples by extending
+    // through the other pieces in piece order, each probed on the columns
+    // it shares with the scope attributes bound so far.
+    auto add_join_node = [&](const std::vector<TableRef>& piece_refs,
+                             const CountedRelation& snapshot) {
+      AttributeSet scope;
+      for (TableRef ref : piece_refs) scope = Union(scope, attrs_of(ref));
+      NodeState node{DynTable(scope)};
+      node.kind = NodeState::Kind::kJoin;
+      LSENS_CHECK(snapshot.attrs() == scope);
+      node.out.Load(snapshot);
+      for (TableRef ref : piece_refs) {
+        NodeState::Piece piece;
+        piece.ref = ref;
+        piece.scope_cols = incremental_detail::ColsOf(scope, attrs_of(ref));
+        piece.out_index = node.out.AddIndex(piece.scope_cols);
+        node.pieces.push_back(std::move(piece));
       }
-      bot_node[static_cast<size_t>(v)] =
-          add_node(v, link_of(v), std::move(inputs),
-                   *capture.bot[static_cast<size_t>(v)]);
+      for (size_t i = 0; i < node.pieces.size(); ++i) {
+        AttributeSet bound = attrs_of(piece_refs[i]);
+        for (size_t j = 0; j < node.pieces.size(); ++j) {
+          if (j == i) continue;
+          const AttributeSet& pj = attrs_of(piece_refs[j]);
+          NodeState::Expand e;
+          e.piece = j;
+          // An empty shared set degrades to the full-table chain (the
+          // within-component cross-product case) — still correct, the
+          // later probes filter.
+          AttributeSet shared = Intersect(pj, bound);
+          e.index = table_of(piece_refs[j])
+                        .AddIndex(incremental_detail::ColsOf(pj, shared));
+          e.probe_scope_cols = incremental_detail::ColsOf(scope, shared);
+          node.pieces[i].expands.push_back(std::move(e));
+          bound = Union(bound, pj);
+        }
+      }
+      state->nodes.push_back(std::move(node));
+      return static_cast<int>(state->nodes.size() - 1);
+    };
+
+    std::vector<int> bag_of(static_cast<size_t>(num_atoms), -1);
+    for (size_t v = 0; v < num_bags; ++v) {
+      for (int a : ghd.bags[v].atom_indices) {
+        bag_of[static_cast<size_t>(a)] = static_cast<int>(v);
+      }
     }
-    // ⊤ in pre-order: ⊤(v) = γ_link(v)(S_p ⋈ ⊤(p)? ⋈ {⊥(sib)}), driven by
-    // the parent's S.
-    for (int v : tree.PreOrder()) {
-      int p = tree.Parent(v);
-      if (p == -1) continue;
-      const AttributeSet& driver_keep =
-          state->sources[static_cast<size_t>(p)].keep;
-      std::vector<NodeState::Input> inputs;
-      if (tree.Parent(p) != -1) {
-        inputs.push_back(NodeState::Input{
-            top_node[static_cast<size_t>(p)],
-            incremental_detail::ColsOf(driver_keep, link_of(p)), -1});
-      }
-      for (int sib : tree.Neighbors(v)) {
-        inputs.push_back(NodeState::Input{
-            bot_node[static_cast<size_t>(sib)],
-            incremental_detail::ColsOf(driver_keep, link_of(sib)), -1});
-      }
-      top_node[static_cast<size_t>(v)] =
-          add_node(p, link_of(v), std::move(inputs),
-                   *capture.top[static_cast<size_t>(v)]);
+
+    std::vector<int> bot_node(num_bags, -1);
+    std::vector<int> top_node(num_bags, -1);
+    const bool track_totals = num_trees >= 2;
+    if (track_totals) {
+      LSENS_CHECK(capture.tree_total.size() == num_trees);
+      state->tree_totals = capture.tree_total;
+      state->total_nodes.assign(num_trees, -1);
     }
-    // Assembly: atom a's pieces are ⊤(a) (when non-root) then its
-    // children's ⊥, exactly the engine's piece order.
+
+    for (size_t t = 0; t < num_trees; ++t) {
+      const JoinTree& tree = ghd.forest.trees[t];
+      // ⊥ in post-order: ⊥(v) = γ_link(v)(r⋈({S_a : a ∈ v}, {⊥(c)})).
+      // Single-atom bags keep the legacy driver form (S_v drives, children
+      // join in per key); multi-atom bags materialize the fold first.
+      for (int bag : tree.PostOrder()) {
+        const GhdBag& spec = ghd.bags[static_cast<size_t>(bag)];
+        const int parent = tree.Parent(bag);
+        std::vector<TableRef> piece_refs;
+        for (int a : spec.atom_indices) piece_refs.push_back(TableRef{a, -1});
+        for (int c : tree.Children(bag)) {
+          piece_refs.push_back(TableRef{-1, bot_node[static_cast<size_t>(c)]});
+        }
+        auto child_inputs = [&](const AttributeSet& driver_attrs) {
+          std::vector<NodeState::Input> inputs;
+          for (int c : tree.Children(bag)) {
+            const int cn = bot_node[static_cast<size_t>(c)];
+            inputs.push_back(NodeState::Input{
+                cn,
+                incremental_detail::ColsOf(
+                    driver_attrs, state->nodes[static_cast<size_t>(cn)]
+                                      .out.attrs()),
+                -1});
+          }
+          return inputs;
+        };
+        if (parent == -1) {
+          // Root bag: the full fold is only materialized when the §5.4
+          // cross-tree scale factors need its running total.
+          if (!track_totals) continue;
+          LSENS_CHECK(capture.root_join[t].has_value());
+          int root;
+          if (spec.atom_indices.size() == 1) {
+            const TableRef drv{spec.atom_indices[0], -1};
+            const AttributeSet keep = attrs_of(drv);
+            root = add_group_node(drv, keep, child_inputs(keep),
+                                  *capture.root_join[t]);
+          } else {
+            root = add_join_node(piece_refs, *capture.root_join[t]);
+          }
+          state->total_nodes[t] = root;
+          continue;
+        }
+        const AttributeSet link = Intersect(
+            spec.vars, ghd.bags[static_cast<size_t>(parent)].vars);
+        if (spec.atom_indices.size() == 1) {
+          const TableRef drv{spec.atom_indices[0], -1};
+          bot_node[static_cast<size_t>(bag)] =
+              add_group_node(drv, link, child_inputs(attrs_of(drv)),
+                             *capture.bot[static_cast<size_t>(bag)]);
+        } else {
+          LSENS_CHECK(capture.bot_join[static_cast<size_t>(bag)].has_value());
+          const int j = add_join_node(
+              piece_refs, *capture.bot_join[static_cast<size_t>(bag)]);
+          bot_node[static_cast<size_t>(bag)] =
+              add_group_node(TableRef{-1, j}, link, {},
+                             *capture.bot[static_cast<size_t>(bag)]);
+        }
+      }
+      // ⊤ in pre-order: ⊤(v) = γ_link(v)(r⋈({S_a : a ∈ p}, ⊤(p)?,
+      // {⊥(sib)})), driven by the parent bag.
+      for (int bag : tree.PreOrder()) {
+        const int p = tree.Parent(bag);
+        if (p == -1) continue;
+        const GhdBag& pspec = ghd.bags[static_cast<size_t>(p)];
+        const AttributeSet link = Intersect(
+            ghd.bags[static_cast<size_t>(bag)].vars, pspec.vars);
+        std::vector<TableRef> upper_refs;  // ⊤(p)? then sibling ⊥s
+        if (tree.Parent(p) != -1) {
+          upper_refs.push_back(TableRef{-1, top_node[static_cast<size_t>(p)]});
+        }
+        for (int sib : tree.Neighbors(bag)) {
+          upper_refs.push_back(
+              TableRef{-1, bot_node[static_cast<size_t>(sib)]});
+        }
+        if (pspec.atom_indices.size() == 1) {
+          const TableRef drv{pspec.atom_indices[0], -1};
+          const AttributeSet& driver_attrs = attrs_of(drv);
+          std::vector<NodeState::Input> inputs;
+          for (TableRef ref : upper_refs) {
+            inputs.push_back(NodeState::Input{
+                ref.node,
+                incremental_detail::ColsOf(driver_attrs, attrs_of(ref)), -1});
+          }
+          top_node[static_cast<size_t>(bag)] =
+              add_group_node(drv, link, std::move(inputs),
+                             *capture.top[static_cast<size_t>(bag)]);
+        } else {
+          std::vector<TableRef> piece_refs;
+          for (int a : pspec.atom_indices) {
+            piece_refs.push_back(TableRef{a, -1});
+          }
+          for (TableRef ref : upper_refs) piece_refs.push_back(ref);
+          LSENS_CHECK(capture.top_join[static_cast<size_t>(bag)].has_value());
+          const int j = add_join_node(
+              piece_refs, *capture.top_join[static_cast<size_t>(bag)]);
+          top_node[static_cast<size_t>(bag)] =
+              add_group_node(TableRef{-1, j}, link, {},
+                             *capture.top[static_cast<size_t>(bag)]);
+        }
+      }
+    }
+
+    // Per-atom multiplicity tables: T_a folds ⊤(bag), the children's ⊥ and
+    // the co-atoms' S tables per attribute-connectivity component. The
+    // component partition, order and per-component grouping replicate the
+    // engine's compute_atom exactly, so the capture's atom_components line
+    // up index for index.
     state->assembly_atoms.resize(static_cast<size_t>(num_atoms));
     state->trackers.resize(static_cast<size_t>(num_atoms));
+    if (track_totals) {
+      state->assembly_tree.assign(static_cast<size_t>(num_atoms), -1);
+    }
     for (int a = 0; a < num_atoms; ++a) {
       state->assembly_atoms[static_cast<size_t>(a)] = a;
-      if (tree.Parent(a) != -1) {
-        state->trackers[static_cast<size_t>(a)].push_back(
-            MakeTracker(q, a, top_node[static_cast<size_t>(a)], *state));
+      const int v = bag_of[static_cast<size_t>(a)];
+      const int t = ghd.forest.TreeOf(v);
+      LSENS_CHECK(t >= 0);
+      if (track_totals) {
+        state->assembly_tree[static_cast<size_t>(a)] = t;
       }
-      for (int c : tree.Children(a)) {
+      if (ContainsAtom(skip_atoms, a)) continue;  // engine skipped T_a
+      const JoinTree& tree = ghd.forest.trees[static_cast<size_t>(t)];
+
+      std::vector<TableRef> piece_refs;  // engine piece order
+      if (tree.Parent(v) != -1) {
+        piece_refs.push_back(TableRef{-1, top_node[static_cast<size_t>(v)]});
+      }
+      for (int c : tree.Children(v)) {
+        piece_refs.push_back(TableRef{-1, bot_node[static_cast<size_t>(c)]});
+      }
+      for (int b : ghd.bags[static_cast<size_t>(v)].atom_indices) {
+        if (b != a) piece_refs.push_back(TableRef{b, -1});
+      }
+
+      // Attribute-connectivity components, replicating the engine's
+      // union-find (component order = first-piece order).
+      const size_t n = piece_refs.size();
+      std::vector<size_t> uf(n);
+      for (size_t i = 0; i < n; ++i) uf[i] = i;
+      auto find = [&](size_t x) {
+        while (uf[x] != x) x = uf[x] = uf[uf[x]];
+        return x;
+      };
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          if (Intersects(attrs_of(piece_refs[i]), attrs_of(piece_refs[j]))) {
+            uf[find(i)] = find(j);
+          }
+        }
+      }
+      std::vector<std::vector<size_t>> components;
+      std::vector<int> comp_of(n, -1);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t root = find(i);
+        if (comp_of[root] == -1) {
+          comp_of[root] = static_cast<int>(components.size());
+          components.emplace_back();
+        }
+        components[static_cast<size_t>(comp_of[root])].push_back(i);
+      }
+
+      const AttributeSet table_attrs = q.SharedVarsOf(a);
+      const auto& caps = capture.atom_components[static_cast<size_t>(a)];
+      LSENS_CHECK(caps.size() == components.size());
+      for (size_t ci = 0; ci < components.size(); ++ci) {
+        const std::vector<size_t>& comp = components[ci];
+        AttributeSet comp_attrs;
+        for (size_t idx : comp) {
+          comp_attrs = Union(comp_attrs, attrs_of(piece_refs[idx]));
+        }
+        const AttributeSet group = Intersect(table_attrs, comp_attrs);
+        const bool group_is_full = group == comp_attrs;
+        TableRef target;
+        if (comp.size() == 1 && group_is_full) {
+          // The piece itself is the component table: track it directly
+          // (zero extra state — the common acyclic shape stays as cheap
+          // as before).
+          target = piece_refs[comp[0]];
+        } else if (comp.size() == 1) {
+          LSENS_CHECK(caps[ci].table.has_value());
+          target = TableRef{
+              -1, add_group_node(piece_refs[comp[0]], group, {},
+                                 *caps[ci].table)};
+        } else {
+          LSENS_CHECK(caps[ci].join.has_value());
+          std::vector<TableRef> comp_refs;
+          for (size_t idx : comp) comp_refs.push_back(piece_refs[idx]);
+          const int j = add_join_node(comp_refs, *caps[ci].join);
+          if (group_is_full) {
+            target = TableRef{-1, j};
+          } else {
+            LSENS_CHECK(caps[ci].table.has_value());
+            target = TableRef{
+                -1,
+                add_group_node(TableRef{-1, j}, group, {}, *caps[ci].table)};
+          }
+        }
         state->trackers[static_cast<size_t>(a)].push_back(
-            MakeTracker(q, a, bot_node[static_cast<size_t>(c)], *state));
+            MakeTracker(q, a, target, *state));
       }
     }
   }
@@ -580,21 +884,22 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
   // table, so the first repair starts from clean trackers.
   uint64_t ignored = 0;
   state->node_trackers.resize(state->nodes.size());
+  state->source_trackers.resize(state->sources.size());
   for (size_t u = 0; u < state->trackers.size(); ++u) {
     for (size_t p = 0; p < state->trackers[u].size(); ++p) {
       Tracker& t = state->trackers[u][p];
       if (t.node >= 0) {
         state->node_trackers[static_cast<size_t>(t.node)].emplace_back(u, p);
-        RescanTracker(t, *state, &ignored);
+      } else if (t.source >= 0) {
+        state->source_trackers[static_cast<size_t>(t.source)].emplace_back(
+            u, p);
+      } else {
+        continue;
       }
+      RescanTracker(t, *state, &ignored);
     }
   }
   return state;
-}
-
-bool ContainsAtom(const std::vector<int>& skip_atoms, int atom) {
-  return std::find(skip_atoms.begin(), skip_atoms.end(), atom) !=
-         skip_atoms.end();
 }
 
 // Rebuilds the SensitivityResult from the maintained trackers, replicating
@@ -617,7 +922,15 @@ SensitivityResult Assemble(RepairState& state, const ConjunctiveQuery& q,
       out.skipped = true;
       continue;
     }
+    // §5.4 scale factor: adding a tuple here combines with every full
+    // result of the other decomposition trees.
     Count product = Count::One();
+    if (!state.tree_totals.empty()) {
+      const int tree = state.assembly_tree[u];
+      for (size_t t2 = 0; t2 < state.tree_totals.size(); ++t2) {
+        if (t2 != static_cast<size_t>(tree)) product *= state.tree_totals[t2];
+      }
+    }
     for (Tracker& t : state.trackers[u]) {
       if (t.dirty) RescanTracker(t, state, rows_touched);
       product *= t.max;
@@ -626,9 +939,8 @@ SensitivityResult Assemble(RepairState& state, const ConjunctiveQuery& q,
     if (!product.IsZero()) {
       std::vector<Value> argmax(out.table_attrs.size(), 0);
       for (const Tracker& t : state.trackers[u]) {
-        if (t.node < 0) continue;  // unit piece carries no values
-        const AttributeSet& attrs =
-            state.nodes[static_cast<size_t>(t.node)].out.attrs();
+        if (t.node < 0 && t.source < 0) continue;  // unit piece, no values
+        const AttributeSet& attrs = TrackedTable(state, t).attrs();
         LSENS_CHECK(t.argmax.size() == attrs.size());
         for (size_t j = 0; j < attrs.size(); ++j) {
           auto it = std::lower_bound(out.table_attrs.begin(),
@@ -642,7 +954,7 @@ SensitivityResult Assemble(RepairState& state, const ConjunctiveQuery& q,
     }
   }
   // Winner reduction. The path engine walks chain positions and skips
-  // skipped atoms explicitly; the tree engine walks atoms and relies on
+  // skipped atoms explicitly; the GHD engine walks atoms and relies on
   // their zero maxima. Both are replicated verbatim.
   if (state.mode == RepairState::Mode::kPath) {
     for (int a : state.assembly_atoms) {
@@ -779,37 +1091,115 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
     }
     src.version = rel->version();
     SortUnique(&source_changed[si]);
+    // Trackers sitting directly on this S table (single-piece multiplicity
+    // components): fold in each changed key's final value.
+    if (!state.source_trackers[si].empty()) {
+      for (const std::vector<Value>& changed : source_changed[si]) {
+        const Count value = src.table.Get(changed);
+        for (const auto& [u, p] : state.source_trackers[si]) {
+          UpdateTracker(state.trackers[u][p], changed, value);
+        }
+      }
+    }
   }
 
-  // 2. Nodes, in evaluation order: collect the affected output groups
-  // (directly from driver changes, and via driver-index lookups from
-  // changed input keys), then re-aggregate each from the current inputs.
-  // Re-aggregation reads only the driver and the already-repaired input
-  // tables, so the affected groups — disjoint work — fan out over
-  // key-hash shards; the sums land in per-group slots and are applied
-  // (with tracker maintenance) serially in sorted group order.
+  // 2. Nodes, in evaluation order: collect the affected output keys, then
+  // recompute each from the current (already-repaired) upstream tables.
+  //
+  // Group nodes collect groups directly from driver changes and via
+  // driver-index lookups from changed input keys, and re-aggregate each
+  // group. Join nodes collect, per changed piece key, the existing output
+  // rows matching it (the piece's out index) plus the newly joinable
+  // scope tuples (expansion through the other pieces' indexes), and
+  // recompute each row's count as the product of point lookups.
+  //
+  // Either way the recomputation reads only upstream state, so the
+  // affected keys — disjoint work — fan out over key-hash shards; the
+  // recomputed counts land in per-key slots and are applied (with tracker
+  // and tree-total maintenance) serially in sorted key order.
   std::vector<std::vector<std::vector<Value>>> node_changed(
       state.nodes.size());
   std::vector<uint32_t> rows;
+  auto table_of = [&](TableRef ref) -> const DynTable& {
+    return ref.source >= 0
+               ? state.sources[static_cast<size_t>(ref.source)].table
+               : state.nodes[static_cast<size_t>(ref.node)].out;
+  };
+  auto changed_of =
+      [&](TableRef ref) -> const std::vector<std::vector<Value>>& {
+    return ref.source >= 0 ? source_changed[static_cast<size_t>(ref.source)]
+                           : node_changed[static_cast<size_t>(ref.node)];
+  };
   for (size_t ni = 0; ni < state.nodes.size(); ++ni) {
     NodeState& node = state.nodes[ni];
-    const DynTable& driver =
-        state.sources[static_cast<size_t>(node.source)].table;
     std::vector<std::vector<Value>> affected;
-    for (const std::vector<Value>& changed :
-         source_changed[static_cast<size_t>(node.source)]) {
-      Project(changed, node.group_cols, &key);
-      affected.push_back(key);
-    }
-    for (const NodeState::Input& input : node.inputs) {
-      for (const std::vector<Value>& changed :
-           node_changed[static_cast<size_t>(input.node)]) {
-        rows.clear();
-        driver.LookupIndex(input.driver_index, changed, &rows);
-        *rows_touched += rows.size();
-        for (uint32_t r : rows) {
-          Project(driver.RowValues(r), node.group_cols, &key);
-          affected.push_back(key);
+    if (node.kind == NodeState::Kind::kGroup) {
+      const DynTable& driver = table_of(node.driver);
+      for (const std::vector<Value>& changed : changed_of(node.driver)) {
+        Project(changed, node.group_cols, &key);
+        affected.push_back(key);
+      }
+      for (const NodeState::Input& input : node.inputs) {
+        for (const std::vector<Value>& changed :
+             node_changed[static_cast<size_t>(input.node)]) {
+          rows.clear();
+          driver.LookupIndex(input.driver_index, changed, &rows);
+          *rows_touched += rows.size();
+          for (uint32_t r : rows) {
+            Project(driver.RowValues(r), node.group_cols, &key);
+            affected.push_back(key);
+          }
+        }
+      }
+    } else {
+      std::vector<std::vector<Value>> frontier;
+      std::vector<std::vector<Value>> next;
+      for (size_t pi = 0; pi < node.pieces.size(); ++pi) {
+        const NodeState::Piece& piece = node.pieces[pi];
+        const DynTable& pt = table_of(piece.ref);
+        for (const std::vector<Value>& changed : changed_of(piece.ref)) {
+          // Existing output rows built from this piece key (count change
+          // or removal).
+          rows.clear();
+          node.out.LookupIndex(piece.out_index, changed, &rows);
+          *rows_touched += rows.size();
+          for (uint32_t r : rows) {
+            std::span<const Value> row = node.out.RowValues(r);
+            affected.emplace_back(row.begin(), row.end());
+          }
+          // A key no longer present cannot create new join rows.
+          if (pt.FindRow(changed) == DynTable::kNoRow) continue;
+          std::vector<Value> seed(node.out.attrs().size(), 0);
+          for (size_t c = 0; c < piece.scope_cols.size(); ++c) {
+            seed[static_cast<size_t>(piece.scope_cols[c])] = changed[c];
+          }
+          frontier.clear();
+          frontier.push_back(std::move(seed));
+          for (const NodeState::Expand& e : piece.expands) {
+            const NodeState::Piece& other = node.pieces[e.piece];
+            const DynTable& ot = table_of(other.ref);
+            next.clear();
+            for (const std::vector<Value>& partial : frontier) {
+              Project(partial, e.probe_scope_cols, &key);
+              rows.clear();
+              ot.LookupIndex(e.index, key, &rows);
+              *rows_touched += rows.size();
+              for (uint32_t r : rows) {
+                std::span<const Value> prow = ot.RowValues(r);
+                std::vector<Value> extended = partial;
+                for (size_t c = 0; c < other.scope_cols.size(); ++c) {
+                  extended[static_cast<size_t>(other.scope_cols[c])] =
+                      prow[c];
+                }
+                next.push_back(std::move(extended));
+              }
+            }
+            frontier.swap(next);
+            if (frontier.empty()) break;
+          }
+          for (std::vector<Value>& tuple : frontier) {
+            affected.push_back(std::move(tuple));
+          }
         }
       }
     }
@@ -831,28 +1221,48 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
       uint64_t touched = 0;
       for (size_t g = 0; g < affected.size(); ++g) {
         if (node_shards > 1 && shard_of[g] != s) continue;
-        group_rows.clear();
-        driver.LookupIndex(node.driver_group_index, affected[g],
-                           &group_rows);
-        touched += group_rows.size() + 1;
-        Count sum = Count::Zero();
-        for (uint32_t r : group_rows) {
-          std::span<const Value> row = driver.RowValues(r);
-          Count term = driver.RowCount(r);
-          for (const NodeState::Input& input : node.inputs) {
-            Project(row, input.driver_cols, &lookup_key);
-            term *= state.nodes[static_cast<size_t>(input.node)].out.Get(
-                lookup_key);
-            if (term.IsZero()) break;
+        if (node.kind == NodeState::Kind::kGroup) {
+          const DynTable& driver = table_of(node.driver);
+          group_rows.clear();
+          driver.LookupIndex(node.driver_group_index, affected[g],
+                             &group_rows);
+          touched += group_rows.size() + 1;
+          Count sum = Count::Zero();
+          for (uint32_t r : group_rows) {
+            std::span<const Value> row = driver.RowValues(r);
+            Count term = driver.RowCount(r);
+            for (const NodeState::Input& input : node.inputs) {
+              Project(row, input.driver_cols, &lookup_key);
+              term *= state.nodes[static_cast<size_t>(input.node)].out.Get(
+                  lookup_key);
+              if (term.IsZero()) break;
+            }
+            sum += term;
           }
-          sum += term;
+          sums[g] = sum;
+        } else {
+          touched += 1;
+          Count product = Count::One();
+          for (const NodeState::Piece& piece : node.pieces) {
+            Project(affected[g], piece.scope_cols, &lookup_key);
+            product *= table_of(piece.ref).Get(lookup_key);
+            if (product.IsZero()) break;
+          }
+          sums[g] = product;
         }
-        sums[g] = sum;
       }
       shard_touched[s] += touched;
     });
     for (size_t s = 0; s < node_shards; ++s) {
       *rows_touched += shard_touched[s];
+    }
+    // The tree whose running total this node's output feeds, if any.
+    int total_tree = -1;
+    for (size_t t = 0; t < state.total_nodes.size(); ++t) {
+      if (state.total_nodes[t] == static_cast<int>(ni)) {
+        total_tree = static_cast<int>(t);
+        break;
+      }
     }
     for (size_t g = 0; g < affected.size(); ++g) {
       Count old = node.out.Set(affected[g], sums[g]);
@@ -860,6 +1270,17 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
         node_changed[ni].push_back(affected[g]);
         for (const auto& [u, p] : state.node_trackers[ni]) {
           UpdateTracker(state.trackers[u][p], affected[g], sums[g]);
+        }
+        if (total_tree >= 0) {
+          // Exact subtract-old/add-new; any saturation en route makes the
+          // running total untrustworthy — rebuild instead.
+          Count& total = state.tree_totals[static_cast<size_t>(total_tree)];
+          if (total.IsSaturated() || old.IsSaturated() ||
+              sums[g].IsSaturated() || total < old) {
+            return false;
+          }
+          total = total.SaturatingSub(old) + sums[g];
+          if (total.IsSaturated()) return false;
         }
       }
     }
@@ -943,12 +1364,20 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
         total_changes += n;
         total_rows += rel->NumRows();
       }
+      // Delta-size gate. The baseline is the pre-delta size (current rows
+      // net of the pending deltas is unknowable cheaply, but rows+changes
+      // bounds it from above), so delete-heavy streams that shrink — or
+      // empty — a relation still compare the delta against the work the
+      // repair will actually do, instead of dividing by the shrunken (or
+      // zero) current size. The floor of 1 keeps single-row updates
+      // repairable at any fraction.
+      const size_t delta_baseline = total_rows + total_changes;
+      const size_t allowed_changes = std::max<size_t>(
+          1, static_cast<size_t>(config_.max_delta_fraction *
+                                 static_cast<double>(delta_baseline)));
       if (stale) {
         ++stats_.fallback_stale;
-      } else if (total_changes >
-                 std::max<size_t>(1, static_cast<size_t>(
-                                         config_.max_delta_fraction *
-                                         static_cast<double>(total_rows)))) {
+      } else if (total_changes > allowed_changes) {
         ++stats_.fallback_large_delta;
       } else {
         uint64_t delta_rows = 0;
@@ -1001,10 +1430,9 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
     StatusOr<SensitivityResult> r =
         plan.mode == RepairState::Mode::kPath
             ? TSensPath(q, plan.order, db, run)
-            : TSensOverGhd(q, MakeTrivialGhd(q, JoinForest{{*plan.tree}}),
-                           db, run);
+            : TSensOverGhd(q, *plan.ghd, db, run);
     if (r.ok()) {
-      state = BuildState(q, plan, std::move(capture));
+      state = BuildState(q, plan, std::move(capture), options.skip_atoms);
       // Seed the source versions and install change logs so the next call
       // can pull deltas.
       for (SourceState& src : state->sources) {

@@ -23,8 +23,13 @@ struct SensitivityCacheConfig {
   size_t changelog_capacity = 8192;
 
   // Repair is only attempted when the pending change count is at most this
-  // fraction of the query's current total rows; past it a from-scratch
-  // recompute is assumed cheaper than group-by-group patching.
+  // fraction of (current total rows + pending changes) across the query's
+  // relations — the pre-delta size, so delete-heavy streams that shrink or
+  // even empty a relation still measure the delta against the work the
+  // repair will do rather than against the shrunken size. Past the
+  // fraction, a from-scratch recompute is assumed cheaper than
+  // group-by-group patching. Clamped to [0, 1] at construction; a floor of
+  // one change keeps single-row updates repairable at any setting.
   double max_delta_fraction = 0.05;
 
   // Cached (query, options) entries kept; least-recently-used beyond this.
@@ -58,17 +63,21 @@ struct SensitivityCacheStats {
 };
 
 // Memoizes ComputeLocalSensitivity results keyed by (query fingerprint,
-// per-relation versions) and — for the supported query shapes — keeps the
-// engine's internal tables (per-atom projections S_a, the ⊥/⊤ fold chains)
-// in incrementally repairable form. When the underlying relations change
-// between calls, the cache pulls the row-level delta from each relation's
-// change log and re-aggregates only the affected join-key groups instead
-// of rebuilding every table, falling back to a full recompute when the
-// delta is large, the log window was exceeded, or the query shape is not
-// repairable (cyclic queries, explicit GHDs, top-k approximation,
-// keep_tables, disconnected queries, or atoms whose multiplicity-table
-// pieces share attributes). Results are bit-identical to the from-scratch
-// engines in every case.
+// per-relation versions) and keeps the engine's internal tables (per-atom
+// projections S_a, the ⊥/⊤ fold tables per GHD bag, materialized bag and
+// multiplicity-component joins, per-tree join totals) in incrementally
+// repairable form. Every query shape the engines evaluate is repairable —
+// acyclic trees and paths, attribute-sharing multiplicity components,
+// disconnected forests (cross-tree scale factors re-multiplied from
+// maintained per-tree totals), and cyclic queries via searched or
+// explicitly supplied GHDs. When the underlying relations change between
+// calls, the cache pulls the row-level delta from each relation's change
+// log and re-aggregates only the affected join-key groups (or join rows)
+// instead of rebuilding every table, falling back to a full recompute only
+// when the delta is large, the log window was exceeded, or the options ask
+// for what repair deliberately does not model: top-k approximation and
+// keep_tables stay version-memoized fallbacks. Results are bit-identical
+// to the from-scratch engines in every case.
 //
 // A cache instance serves one Database: relations are addressed by name
 // and validated by version, so feeding relations of equal names/versions

@@ -108,6 +108,15 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
   }
 
   const size_t num_trees = ghd.forest.trees.size();
+  // Capture slots are pre-sized here so the concurrent tree/atom tasks
+  // below only ever write disjoint elements.
+  if (options.capture != nullptr) {
+    options.capture->bot_join.assign(num_bags, std::nullopt);
+    options.capture->top_join.assign(num_bags, std::nullopt);
+    options.capture->root_join.assign(num_trees, std::nullopt);
+    options.capture->atom_components.assign(static_cast<size_t>(num_atoms),
+                                            {});
+  }
   std::vector<Count> tree_total(num_trees, Count::Zero());
   // ⊥ and ⊤ per bag; *_use are the (possibly top-k truncated) versions
   // consumed by the recursions, *_full the untruncated ones consumed by the
@@ -148,12 +157,19 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       int parent = tree.Parent(bag);
       if (parent == -1) {
         tree_total[t] = folded.TotalCount();
+        if (options.capture != nullptr && num_trees >= 2) {
+          options.capture->root_join[t] = std::move(folded);
+        }
       } else {
         AttributeSet link = Intersect(
             spec.vars, ghd.bags[static_cast<size_t>(parent)].vars);
         bot_full[static_cast<size_t>(bag)] = GroupBySum(folded, link, &tctx);
         bot_use[static_cast<size_t>(bag)] =
             maybe_truncate(*bot_full[static_cast<size_t>(bag)]);
+        if (options.capture != nullptr && spec.atom_indices.size() >= 2) {
+          options.capture->bot_join[static_cast<size_t>(bag)] =
+              std::move(folded);
+        }
       }
     }
     // Topjoins, root to leaves (Eq. 8 generalized to bags).
@@ -177,6 +193,10 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       top_full[static_cast<size_t>(bag)] = GroupBySum(folded, link, &tctx);
       top_use[static_cast<size_t>(bag)] =
           maybe_truncate(*top_full[static_cast<size_t>(bag)]);
+      if (options.capture != nullptr && pspec.atom_indices.size() >= 2) {
+        options.capture->top_join[static_cast<size_t>(bag)] =
+            std::move(folded);
+      }
     }
   };
   if (ShouldRunParallel(threads, num_trees)) {
@@ -246,9 +266,19 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
       for (size_t idx : comp) comp_pieces.push_back(pieces[idx]);
       CountedRelation folded = FoldJoin(std::move(comp_pieces), jopts);
       AttributeSet group = Intersect(out.table_attrs, folded.attrs());
-      CountedRelation table = (group == folded.attrs())
+      const bool group_is_full = group == folded.attrs();
+      TSensCapture::AtomComponent* cap = nullptr;
+      if (options.capture != nullptr) {
+        cap = &options.capture->atom_components[static_cast<size_t>(a)]
+                   .emplace_back();
+        // Multi-piece folds must be kept whole (no single piece covers
+        // them); grouped tables only when grouping actually projected.
+        if (comp.size() >= 2) cap->join = folded;
+      }
+      CountedRelation table = group_is_full
                                   ? std::move(folded)
                                   : GroupBySum(folded, group, &actx);
+      if (cap != nullptr && !group_is_full) cap->table = table;
       ApplyPredicates(q.atom(a), &table);
       max_product *= table.MaxCount();
       comp_tables.push_back(std::move(table));
@@ -330,6 +360,7 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
     options.capture->s = std::move(s);
     options.capture->bot = std::move(bot_full);
     options.capture->top = std::move(top_full);
+    options.capture->tree_total = tree_total;
   }
   return result;
 }

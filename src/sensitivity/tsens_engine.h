@@ -20,10 +20,45 @@ namespace lsens {
 // `s` per atom and `bot`/`top` per bag; TSensPath fills all three per
 // chain position (bot[i] = botjoin[i], top[i] = topjoin[i], positions
 // 1..m-1; index 0 stays disengaged).
+//
+// TSensOverGhd additionally exports the intermediate fold tables the
+// grouped results were derived from, exactly where a repairing cache needs
+// to materialize them as its own maintained state: per-bag pre-group-by
+// joins (multi-atom bags have no single relation covering the fold, so the
+// join itself must be kept to route deltas through), per-tree root folds
+// and totals (§5.4 disconnected scale factors), and per-atom
+// multiplicity-table components. TSensPath leaves these empty.
 struct TSensCapture {
   std::vector<CountedRelation> s;
   std::vector<std::optional<CountedRelation>> bot;
   std::vector<std::optional<CountedRelation>> top;
+
+  // Per bag: the fold behind bot[v] / top[v] before the group-by onto the
+  // parent link. bot_join[v] is filled when bag v holds >= 2 atoms;
+  // top_join[v] when v's *parent* bag does (otherwise the fold is covered
+  // by a single S table and needs no separate state).
+  std::vector<std::optional<CountedRelation>> bot_join;
+  std::vector<std::optional<CountedRelation>> top_join;
+
+  // Per tree of the decomposition forest: the root bag's full fold (whose
+  // TotalCount is the tree's join size) and that total. root_join is only
+  // filled for forests with >= 2 trees — connected queries never consume
+  // the cross-tree scale factors.
+  std::vector<std::optional<CountedRelation>> root_join;
+  std::vector<Count> tree_total;
+
+  // Per atom, per attribute-connectivity component of its multiplicity
+  // table (engine component order): `join` is the fold over the
+  // component's pieces (filled when the component has >= 2 pieces), and
+  // `table` the grouped — but not yet predicate-filtered — component table
+  // (filled when grouping actually projected the fold, i.e. the group
+  // attributes are a proper subset of the fold's). Skipped atoms keep an
+  // empty component list.
+  struct AtomComponent {
+    std::optional<CountedRelation> join;
+    std::optional<CountedRelation> table;
+  };
+  std::vector<std::vector<AtomComponent>> atom_components;
 };
 
 // Options shared by all TSens algorithm variants.

@@ -49,13 +49,28 @@ StatusOr<const Relation*> Database::Get(const std::string& name) const {
 }
 
 Status Database::ApplyDelta(const DatabaseDelta& delta) {
+  // Pass 1: validate everything against simulated row counts (a relation
+  // may appear in several RelationDeltas; later ones see the size the
+  // earlier ones will leave behind) so a poisoned batch rejects before any
+  // relation is touched — no version bumps, no changelog entries.
+  std::unordered_map<std::string, size_t> simulated_rows;
   for (const RelationDelta& rd : delta) {
-    Relation* rel = Find(rd.relation);
+    const Relation* rel = Find(rd.relation);
     if (rel == nullptr) {
       return Status::NotFound("relation '" + rd.relation +
                               "' not in database");
     }
-    LSENS_RETURN_IF_ERROR(rel->ApplyDelta(rd.inserts, rd.delete_rows));
+    auto [it, inserted] = simulated_rows.emplace(rd.relation, rel->NumRows());
+    LSENS_RETURN_IF_ERROR(
+        rel->ValidateDelta(rd.inserts, rd.delete_rows, it->second));
+    it->second = it->second - rd.delete_rows.size() + rd.inserts.size();
+  }
+  // Pass 2: all valid — apply. Re-validation inside Relation::ApplyDelta
+  // cannot fail here.
+  for (const RelationDelta& rd : delta) {
+    Relation* rel = Find(rd.relation);
+    Status applied = rel->ApplyDelta(rd.inserts, rd.delete_rows);
+    LSENS_CHECK_MSG(applied.ok(), "validated delta failed to apply");
   }
   return Status::OK();
 }

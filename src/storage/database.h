@@ -54,9 +54,12 @@ class Database {
 
   const std::vector<std::string>& relation_names() const { return names_; }
 
-  // Applies every RelationDelta in order, validating each against its
-  // relation before mutating it. A failure mid-list leaves earlier deltas
-  // applied (each RelationDelta is itself all-or-nothing).
+  // Applies every RelationDelta in order, all-or-nothing for the whole
+  // batch: the full list is validated first (against the row counts each
+  // relation will have when its turn comes, so one relation may appear in
+  // several deltas), and only a fully valid batch mutates anything. A
+  // rejected batch leaves every relation untouched — no version bumps, no
+  // changelog entries.
   Status ApplyDelta(const DatabaseDelta& delta);
 
   // The named relation's monotone version counter (see Relation::version);

@@ -47,9 +47,9 @@ void Relation::SwapRemoveRow(size_t i) {
   ++version_;
 }
 
-Status Relation::ApplyDelta(std::span<const std::vector<Value>> inserts,
-                            std::vector<size_t> delete_rows) {
-  const size_t n = NumRows();
+Status Relation::ValidateDelta(std::span<const std::vector<Value>> inserts,
+                               std::span<const size_t> delete_rows,
+                               size_t num_rows) const {
   for (const auto& row : inserts) {
     if (row.size() != arity()) {
       return Status::InvalidArgument(
@@ -57,19 +57,27 @@ Status Relation::ApplyDelta(std::span<const std::vector<Value>> inserts,
           std::to_string(arity()) + " in relation '" + name_ + "'");
     }
   }
-  std::sort(delete_rows.begin(), delete_rows.end());
-  for (size_t i = 0; i < delete_rows.size(); ++i) {
-    if (delete_rows[i] >= n) {
+  std::vector<size_t> sorted(delete_rows.begin(), delete_rows.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= num_rows) {
       return Status::InvalidArgument(
-          "delete index " + std::to_string(delete_rows[i]) +
-          " out of range in relation '" + name_ + "' (" + std::to_string(n) +
-          " rows)");
+          "delete index " + std::to_string(sorted[i]) +
+          " out of range in relation '" + name_ + "' (" +
+          std::to_string(num_rows) + " rows)");
     }
-    if (i > 0 && delete_rows[i] == delete_rows[i - 1]) {
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
       return Status::InvalidArgument("duplicate delete index " +
-                                     std::to_string(delete_rows[i]));
+                                     std::to_string(sorted[i]));
     }
   }
+  return Status::OK();
+}
+
+Status Relation::ApplyDelta(std::span<const std::vector<Value>> inserts,
+                            std::vector<size_t> delete_rows) {
+  LSENS_RETURN_IF_ERROR(ValidateDelta(inserts, delete_rows, NumRows()));
+  std::sort(delete_rows.begin(), delete_rows.end());
   // Descending order keeps every pending index valid: a swap-remove only
   // relocates the last row, whose index is larger than any remaining one.
   for (size_t i = delete_rows.size(); i-- > 0;) {

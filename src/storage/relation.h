@@ -72,12 +72,21 @@ class Relation {
   // under bag semantics).
   void SwapRemoveRow(size_t i);
 
+  // Checks a batched update without mutating anything: insert rows must
+  // match the arity, delete indices must be distinct and < num_rows (the
+  // relation size the delta will apply against — pass NumRows() for an
+  // immediate apply, or a simulated size when validating a multi-relation
+  // batch up front, as Database::ApplyDelta does).
+  Status ValidateDelta(std::span<const std::vector<Value>> inserts,
+                       std::span<const size_t> delete_rows,
+                       size_t num_rows) const;
+
   // Batched update: removes the rows at `delete_rows` (indices into the
-  // pre-delta relation, all distinct), then appends `inserts`. Rejects
-  // out-of-range or duplicate indices and arity-mismatched insert rows
-  // before mutating anything. One version bump and one changelog entry per
-  // affected row, exactly as the equivalent SwapRemoveRow/AppendRow
-  // sequence would produce.
+  // pre-delta relation, all distinct), then appends `inserts`. Runs
+  // ValidateDelta first and rejects without mutating — a failed batch
+  // bumps neither version() nor the changelog. One version bump and one
+  // changelog entry per affected row, exactly as the equivalent
+  // SwapRemoveRow/AppendRow sequence would produce.
   Status ApplyDelta(std::span<const std::vector<Value>> inserts,
                     std::vector<size_t> delete_rows);
 

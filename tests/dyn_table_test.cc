@@ -305,5 +305,36 @@ TEST(DynTableMemoryTest, MemoryBytesTracksGrowth) {
   EXPECT_GE(full, 1000 * 2 * sizeof(Value));
 }
 
+TEST(DynTableMemoryTest, AccountsIndexChainsAndFreeList) {
+  // Two identical tables, one carrying a secondary index: the index's
+  // per-row intrusive chains (next + prev) must show up in the byte
+  // count, on top of whatever the bucket array and struct storage add.
+  DynTable plain(AttributeSet{1, 2});
+  DynTable indexed(AttributeSet{1, 2});
+  indexed.AddIndex({0});
+  for (int i = 0; i < 500; ++i) {
+    plain.Set(std::vector<Value>{i, i}, Count(1));
+    indexed.Set(std::vector<Value>{i, i}, Count(1));
+  }
+  EXPECT_GE(indexed.MemoryBytes(),
+            plain.MemoryBytes() + 500 * 2 * sizeof(uint32_t));
+
+  // Registering an index on an already-populated table accounts the
+  // backfilled chains immediately.
+  const size_t before = plain.MemoryBytes();
+  plain.AddIndex({1});
+  EXPECT_GE(plain.MemoryBytes(), before + 500 * 2 * sizeof(uint32_t));
+
+  // Erasing every row parks the slots on the free list; the slot arrays
+  // keep their capacity and the free list grows, so the accounted total
+  // must not shrink below the populated figure.
+  const size_t full = plain.MemoryBytes();
+  for (int i = 0; i < 500; ++i) {
+    plain.Set(std::vector<Value>{i, i}, Count::Zero());
+  }
+  EXPECT_EQ(plain.num_rows(), 0u);
+  EXPECT_GE(plain.MemoryBytes(), full);
+}
+
 }  // namespace
 }  // namespace lsens

@@ -4,7 +4,9 @@
 // after every prefix of a randomized insert/delete stream the cached
 // result must be bit-identical to a from-scratch ComputeLocalSensitivity
 // (and agree with the naive oracle on tiny instances), at thread counts
-// 0 and 2.
+// {0, 2, 8} and across every repairable shape: paths, trees,
+// attribute-sharing multiplicity pieces, disconnected forests, and cyclic
+// queries through searched or explicit GHDs.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +17,7 @@
 
 #include "exec/dyn_table.h"
 #include "exec/exec_context.h"
+#include "query/ghd.h"
 #include "sensitivity/incremental.h"
 #include "sensitivity/naive.h"
 #include "sensitivity/tsens.h"
@@ -226,6 +229,49 @@ TEST(DatabaseDeltaTest, RoutesToRelations) {
             Status::Code::kNotFound);
 }
 
+TEST(DatabaseDeltaTest, PoisonedBatchLeavesEveryRelationUntouched) {
+  Database db;
+  Relation* a = db.AddRelation("A", {"x"});
+  Relation* b = db.AddRelation("B", {"x"});
+  a->AppendRow({1});
+  b->AppendRow({2});
+  a->EnableChangeLog(8);
+  uint64_t va = a->version();
+  uint64_t vb = b->version();
+
+  // A valid delta for A rides in the same batch as an invalid one for B:
+  // the whole batch rejects before anything mutates — A keeps its rows,
+  // version, and an empty changelog window.
+  DatabaseDelta delta;
+  delta.push_back(RelationDelta{"A", {{7}}, {0}});
+  delta.push_back(RelationDelta{"B", {}, {5}});  // out-of-range delete
+  EXPECT_FALSE(db.ApplyDelta(delta).ok());
+  EXPECT_EQ(a->version(), va);
+  EXPECT_EQ(b->version(), vb);
+  EXPECT_EQ(a->NumRows(), 1u);
+  EXPECT_EQ(a->At(0, 0), 1);
+  EXPECT_EQ(a->NumChangesSince(va), 0u);
+
+  // Repeated-name batches validate against the row count earlier entries
+  // leave behind: this delete index only exists after the first entry's
+  // inserts land.
+  delta.clear();
+  delta.push_back(RelationDelta{"A", {{8}, {9}}, {}});  // 1 row -> 3 rows
+  delta.push_back(RelationDelta{"A", {}, {2}});
+  ASSERT_TRUE(db.ApplyDelta(delta).ok());
+  EXPECT_EQ(a->NumRows(), 2u);
+
+  // ...and a later entry that overruns the simulated count rejects the
+  // whole batch even though each entry is fine against the current size.
+  uint64_t va2 = a->version();
+  delta.clear();
+  delta.push_back(RelationDelta{"A", {}, {0, 1}});  // 2 rows -> 0 rows
+  delta.push_back(RelationDelta{"A", {}, {0}});     // nothing left to delete
+  EXPECT_FALSE(db.ApplyDelta(delta).ok());
+  EXPECT_EQ(a->version(), va2);
+  EXPECT_EQ(a->NumRows(), 2u);
+}
+
 // --- DynTable -----------------------------------------------------------
 
 TEST(DynTableTest, LoadGetSetAdjust) {
@@ -340,15 +386,17 @@ TEST(SensitivityCacheTest, StaleLogFallsBack) {
   EXPECT_EQ(cache.stats().repairs, 1u);
 }
 
-TEST(SensitivityCacheTest, UnsupportedShapesStayCorrect) {
-  // Cyclic query: memoized, recomputed on every version change.
+TEST(SensitivityCacheTest, CyclicQueriesRepairViaGhd) {
+  // Cyclic queries repair through their (searched) GHD's bag tables —
+  // a data change patches, it no longer recomputes.
   Rng rng(7);
   PaperExample tri = MakeRandomTriangleInstance(rng, 6, 3);
-  SensitivityCache cache;
   std::string reason;
-  EXPECT_FALSE(
-      SensitivityCache::RepairSupported(tri.query, {}, &reason));
-  EXPECT_FALSE(reason.empty());
+  EXPECT_TRUE(SensitivityCache::RepairSupported(tri.query, {}, &reason));
+  EXPECT_TRUE(reason.empty()) << reason;
+  SensitivityCacheConfig config;
+  config.max_delta_fraction = 1.0;
+  SensitivityCache cache(config);
   auto r1 = cache.Compute(tri.query, tri.db);
   ASSERT_TRUE(r1.ok());
   EXPECT_EQ(cache.stats().misses, 1u);
@@ -357,21 +405,93 @@ TEST(SensitivityCacheTest, UnsupportedShapesStayCorrect) {
   tri.db.Find(tri.query.atom(0).relation)->AppendRow({1, 1});
   auto r2 = cache.Compute(tri.query, tri.db);
   ASSERT_TRUE(r2.ok());
-  EXPECT_EQ(cache.stats().fallback_unsupported, 1u);
+  EXPECT_EQ(cache.stats().repairs, 1u);
+  EXPECT_EQ(cache.stats().fallback_unsupported, 0u);
   auto fresh = ComputeLocalSensitivity(tri.query, tri.db);
   ASSERT_TRUE(fresh.ok());
-  ExpectResultsIdentical(*r2, *fresh, "cyclic");
+  ExpectResultsIdentical(*r2, *fresh, "cyclic repair");
+}
 
-  // keep_tables results (with their multiplicity tables) are memoized too.
+TEST(SensitivityCacheTest, TopKStaysMemoizedWithReason) {
+  // Repair maintains exact tables; the top-k approximation deliberately
+  // does not repair and stays version-memoized.
+  PaperExample ex = MakeFigure3Example();
+  TSensComputeOptions topk;
+  topk.top_k = 1;
+  std::string reason;
+  EXPECT_FALSE(SensitivityCache::RepairSupported(ex.query, topk, &reason));
+  EXPECT_NE(reason.find("top-k"), std::string::npos) << reason;
+  SensitivityCache cache;
+  ASSERT_TRUE(cache.Compute(ex.query, ex.db, topk).ok());
+  ASSERT_TRUE(cache.Compute(ex.query, ex.db, topk).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ex.db.Find("R2")->AppendRow({1, 1});
+  auto r = cache.Compute(ex.query, ex.db, topk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cache.stats().fallback_unsupported, 1u);
+  EXPECT_EQ(cache.stats().repairs, 0u);
+  auto fresh = ComputeLocalSensitivity(ex.query, ex.db, topk);
+  ASSERT_TRUE(fresh.ok());
+  ExpectResultsIdentical(*r, *fresh, "top-k memoized");
+}
+
+TEST(SensitivityCacheTest, KeepTablesStaysMemoizedWithReason) {
+  // keep_tables results carry full multiplicity tables that repair does
+  // not patch; they stay version-memoized (and recomputed on change).
   PaperExample fig1 = MakeFigure1Example();
   TSensComputeOptions keep;
   keep.keep_tables = true;
-  EXPECT_FALSE(SensitivityCache::RepairSupported(fig1.query, keep));
+  std::string reason;
+  EXPECT_FALSE(SensitivityCache::RepairSupported(fig1.query, keep, &reason));
+  EXPECT_NE(reason.find("keep_tables"), std::string::npos) << reason;
+  SensitivityCache cache;
   auto kt = cache.Compute(fig1.query, fig1.db, keep);
   ASSERT_TRUE(kt.ok());
+  Relation* rel = fig1.db.Find(fig1.query.atom(0).relation);
+  std::vector<Value> row(rel->arity(), 1);
+  rel->AppendRow(row);
+  auto kt2 = cache.Compute(fig1.query, fig1.db, keep);
+  ASSERT_TRUE(kt2.ok());
+  EXPECT_EQ(cache.stats().fallback_unsupported, 1u);
+  EXPECT_EQ(cache.stats().repairs, 0u);
   auto kt_fresh = ComputeLocalSensitivity(fig1.query, fig1.db, keep);
   ASSERT_TRUE(kt_fresh.ok());
-  ExpectResultsIdentical(*kt, *kt_fresh, "keep_tables");
+  ExpectResultsIdentical(*kt2, *kt_fresh, "keep_tables memoized");
+}
+
+TEST(SensitivityCacheTest, DeleteHeavyStreamRepairsDownToEmpty) {
+  // The delta gate measures against the pre-delta size (current rows +
+  // pending changes), so single-row deletes keep repairing even as the
+  // relations shrink to empty — no fraction over 1 against a shrunken
+  // size, no division by an emptied relation.
+  PaperExample ex = MakeFigure3Example();
+  SensitivityCacheConfig config;
+  config.max_delta_fraction = 0.2;  // the one-change floor carries each step
+  SensitivityCache cache(config);
+  ASSERT_TRUE(cache.Compute(ex.query, ex.db).ok());
+  for (const char* name : {"R1", "R2", "R3", "R4"}) {
+    Relation* rel = ex.db.Find(name);
+    while (rel->NumRows() > 0) {
+      rel->SwapRemoveRow(rel->NumRows() - 1);
+      auto cached = cache.Compute(ex.query, ex.db);
+      ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+      auto fresh = ComputeLocalSensitivity(ex.query, ex.db);
+      ASSERT_TRUE(fresh.ok());
+      ExpectResultsIdentical(*cached, *fresh, std::string("shrink ") + name);
+    }
+  }
+  EXPECT_EQ(ex.db.TotalRows(), 0u);
+  // Every one of the 8 deletes repaired in place; the gate never rejected.
+  EXPECT_EQ(cache.stats().repairs, 8u);
+  EXPECT_EQ(cache.stats().fallback_large_delta, 0u);
+  // Growth out of the emptied database repairs too.
+  ex.db.Find("R2")->AppendRow({1, 1});
+  auto cached = cache.Compute(ex.query, ex.db);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cache.stats().repairs, 9u);
+  auto fresh = ComputeLocalSensitivity(ex.query, ex.db);
+  ASSERT_TRUE(fresh.ok());
+  ExpectResultsIdentical(*cached, *fresh, "regrow");
 }
 
 TEST(SensitivityCacheTest, DistinctOptionsGetDistinctEntries) {
@@ -741,21 +861,137 @@ TEST_P(IncrementalStreamTest, TreeEngineEntriesMatchScratch) {
   EXPECT_GT(cache.stats().repairs, 0u);
 }
 
-TEST_P(IncrementalStreamTest, CyclicFallbackPrefixesMatchScratch) {
+TEST_P(IncrementalStreamTest, CyclicPrefixesRepairAndMatchScratchAndNaive) {
+  // The triangle goes through the searched GHD: one bag holds two atoms
+  // (bag-level join repair), and the per-atom multiplicity components join
+  // attribute-sharing pieces. Every prefix must repair, not fall back.
   const auto [seed, threads] = GetParam();
   Rng rng(seed * 173 + 3);
   PaperExample ex = MakeRandomTriangleInstance(rng, 6, 3);
-  SensitivityCache cache;
+  SensitivityCacheConfig config;
+  config.max_delta_fraction = 1.0;
+  SensitivityCache cache(config);
   TSensComputeOptions options = ThreadedOptions(threads);
-  for (int step = 0; step < 6; ++step) {
+  for (int step = 0; step < 10; ++step) {
     auto cached = cache.Compute(ex.query, ex.db, options);
     ASSERT_TRUE(cached.ok()) << cached.status().ToString();
     auto fresh = ComputeLocalSensitivity(ex.query, ex.db, options);
     ASSERT_TRUE(fresh.ok());
     ExpectResultsIdentical(*cached, *fresh,
                            "cyclic step " + std::to_string(step));
+    Database clone = ex.db.Clone();
+    auto naive = NaiveLocalSensitivity(ex.query, clone);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ(cached->local_sensitivity, naive->local_sensitivity)
+        << "cyclic step " << step;
     RandomMutation(rng, ex.query, ex.db, 3);
   }
+  EXPECT_GT(cache.stats().repairs, 0u);
+  EXPECT_EQ(cache.stats().fallback_unsupported, 0u);
+}
+
+TEST_P(IncrementalStreamTest, ExplicitGhdPrefixesRepairAndMatchScratch) {
+  // An explicitly supplied decomposition repairs through the same bag
+  // machinery as a searched one — and fingerprints as a distinct entry.
+  const auto [seed, threads] = GetParam();
+  Rng rng(seed * 239 + 21);
+  PaperExample ex = MakeRandomTriangleInstance(rng, 6, 3);
+  auto ghd = BuildGhd(ex.query, {{0, 1}, {2}});
+  ASSERT_TRUE(ghd.ok()) << ghd.status().ToString();
+  TSensComputeOptions options = ThreadedOptions(threads);
+  options.ghd = &*ghd;
+  EXPECT_NE(SensitivityCache::Fingerprint(ex.query, options),
+            SensitivityCache::Fingerprint(ex.query, ThreadedOptions(threads)));
+  EXPECT_TRUE(SensitivityCache::RepairSupported(ex.query, options));
+  SensitivityCacheConfig config;
+  config.max_delta_fraction = 1.0;
+  SensitivityCache cache(config);
+  for (int step = 0; step < 10; ++step) {
+    auto cached = cache.Compute(ex.query, ex.db, options);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    auto fresh = ComputeLocalSensitivity(ex.query, ex.db, options);
+    ASSERT_TRUE(fresh.ok());
+    ExpectResultsIdentical(*cached, *fresh,
+                           "explicit ghd step " + std::to_string(step));
+    RandomMutation(rng, ex.query, ex.db, 3);
+  }
+  EXPECT_GT(cache.stats().repairs, 0u);
+  EXPECT_EQ(cache.stats().fallback_unsupported, 0u);
+}
+
+TEST_P(IncrementalStreamTest, MultiPiecePrefixesRepairAndMatchScratch) {
+  // M2 and M3 both bind {B, C}: the T_a pieces for atom M1 share
+  // attributes and must be join-repaired, not cross-multiplied.
+  const auto [seed, threads] = GetParam();
+  Rng rng(seed * 211 + 13);
+  Database db;
+  for (const char* name : {"M1", "M2", "M3"}) {
+    Relation* rel = db.AddRelation(name, {"u", "v"});
+    for (int i = 0; i < 5; ++i) {
+      rel->AppendRow({static_cast<Value>(rng.NextBounded(3)),
+                      static_cast<Value>(rng.NextBounded(3))});
+    }
+  }
+  ConjunctiveQuery q;
+  q.AddAtom(db, "M1", {"A", "B"});
+  q.AddAtom(db, "M2", {"B", "C"});
+  q.AddAtom(db, "M3", {"B", "C"});
+  SensitivityCacheConfig config;
+  config.max_delta_fraction = 1.0;
+  SensitivityCache cache(config);
+  TSensComputeOptions options = ThreadedOptions(threads);
+  for (int step = 0; step < 12; ++step) {
+    auto cached = cache.Compute(q, db, options);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    auto fresh = ComputeLocalSensitivity(q, db, options);
+    ASSERT_TRUE(fresh.ok());
+    ExpectResultsIdentical(*cached, *fresh,
+                           "multi-piece step " + std::to_string(step));
+    Database clone = db.Clone();
+    auto naive = NaiveLocalSensitivity(q, clone);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ(cached->local_sensitivity, naive->local_sensitivity)
+        << "multi-piece step " << step;
+    RandomMutation(rng, q, db, 3);
+  }
+  EXPECT_GT(cache.stats().repairs, 0u);
+  EXPECT_EQ(cache.stats().fallback_unsupported, 0u);
+}
+
+TEST_P(IncrementalStreamTest, DisconnectedForestPrefixesRepairAndMatch) {
+  // Two join trees plus a lone atom: a repair in one tree re-multiplies
+  // the other trees' scale factors from the maintained per-tree totals.
+  const auto [seed, threads] = GetParam();
+  Rng rng(seed * 223 + 19);
+  Database db;
+  for (const char* name : {"D1", "D2", "D3", "D4", "D5"}) {
+    Relation* rel = db.AddRelation(name, {"u", "v"});
+    for (int i = 0; i < 4; ++i) {
+      rel->AppendRow({static_cast<Value>(rng.NextBounded(3)),
+                      static_cast<Value>(rng.NextBounded(3))});
+    }
+  }
+  ConjunctiveQuery q;
+  q.AddAtom(db, "D1", {"A", "B"});
+  q.AddAtom(db, "D2", {"B", "C"});
+  q.AddAtom(db, "D3", {"X", "Y"});
+  q.AddAtom(db, "D4", {"Y", "Z"});
+  q.AddAtom(db, "D5", {"U", "V"});
+  SensitivityCacheConfig config;
+  config.max_delta_fraction = 1.0;
+  SensitivityCache cache(config);
+  TSensComputeOptions options = ThreadedOptions(threads);
+  for (int step = 0; step < 12; ++step) {
+    auto cached = cache.Compute(q, db, options);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    auto fresh = ComputeLocalSensitivity(q, db, options);
+    ASSERT_TRUE(fresh.ok());
+    ExpectResultsIdentical(*cached, *fresh,
+                           "disconnected step " + std::to_string(step));
+    RandomMutation(rng, q, db, 3);
+  }
+  EXPECT_GT(cache.stats().repairs, 0u);
+  EXPECT_EQ(cache.stats().fallback_unsupported, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
