@@ -33,6 +33,26 @@ bool DynTable::KeyEquals(uint32_t row, std::span<const Value> key) const {
 
 void DynTable::Load(const CountedRelation& rel) {
   LSENS_CHECK(rel.attrs() == attrs_);
+  LoadRows(rel);
+}
+
+void DynTable::Release() {
+  data_ = {};
+  counts_ = {};
+  alive_ = {};
+  free_ = {};
+  live_rows_ = 0;
+  saturated_ = false;
+  primary_ = FlatRowIndex();
+  for (Index& index : secondary_) {
+    index.heads = FlatRowIndex();
+    index.next = {};
+    index.prev = {};
+  }
+}
+
+void DynTable::LoadRows(const CountedRelation& rel) {
+  LSENS_CHECK(rel.attrs().size() == attrs_.size());
   LSENS_CHECK_MSG(!rel.has_default(),
                   "DynTable cannot represent a defaulted (top-k) relation");
   data_.clear();

@@ -76,6 +76,21 @@ class DynTable {
   // the load itself never rehashes.
   void Load(const CountedRelation& rel);
 
+  // Load without requiring equal attribute ids — only equal arity (and no
+  // default). The cross-query plan cache keys shared tables by canonical
+  // subtree signature: the attribute *ids* differ per query, but equal
+  // signatures guarantee the same column order, so rows transfer
+  // positionally. Clears any saturation poison exactly like Load.
+  void LoadRows(const CountedRelation& rel);
+
+  // Drops every row, count, and index bucket array and returns their
+  // memory, keeping only the table identity (attrs and registered
+  // secondary-index column lists, so parent recipes holding index ids
+  // survive). The byte-budget spill policy in SensitivityCache releases
+  // least-recently-used shared nodes with this; a later Load rebuilds
+  // everything from a fresh snapshot.
+  void Release();
+
   // Registers a secondary index on the given column positions (need not be
   // sorted; lookups present keys in the same order). Re-registering an
   // identical column list returns the existing id.

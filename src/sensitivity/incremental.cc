@@ -1,8 +1,10 @@
 #include "sensitivity/incremental.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "common/rng.h"
@@ -35,17 +37,33 @@ namespace lsens {
 // behind the §5.4 cross-tree totals — a join node materializes the fold
 // itself: pieces are normalized, so every output row combines exactly one
 // row per piece and its count is a pure product, recomputable per row from
-// point lookups. A repair pass applies the relations' row deltas to the
-// sources, then walks the nodes in evaluation order re-aggregating only
+// point lookups.
+//
+// Cross-query sharing: nodes are not owned per cache entry. Every node is
+// keyed by its canonical subtree signature (query/conjunctive_query.h) in
+// one store; entries acquire nodes by signature and attach when the node
+// already exists, so overlapping queries maintain each distinct subtree
+// once. Node tables use canonical attribute ids {0..arity-1} — equal
+// signatures guarantee equal column order by induction, so rows transfer
+// positionally between queries with different AttrId vocabularies.
+//
+// One delta pass (SyncStore) repairs the whole store: it applies the
+// relations' row deltas to the source nodes, then walks the fold nodes in
+// creation order (children always precede parents) re-aggregating only
 // groups (or join rows) reachable from a changed key; newly joinable rows
 // of a join node are enumerated by extending each changed piece key
 // through the other pieces' secondary indexes. Per-piece max/argmax
-// trackers maintain the engines' predicate-filtered MaxCount/ArgMaxRow
-// (first — i.e. lexicographically smallest — row attaining the max),
-// falling back to a table rescan only when the tracked argmax group
-// itself decays. Disconnected forests additionally keep one running join
-// total per tree (exact subtract-old/add-new per changed root-fold row),
-// re-multiplied into every atom's scale factor at assembly.
+// trackers — registered on the node by every dependent entry — maintain
+// the engines' predicate-filtered MaxCount/ArgMaxRow (first, i.e.
+// lexicographically smallest, row attaining the max), falling back to a
+// table rescan only when the tracked argmax group itself decays.
+// Disconnected forests additionally keep one running join total per tree
+// root node (exact subtract-old/add-new per changed root-fold row),
+// re-multiplied into every atom's scale factor at assembly. Nodes the pass
+// cannot repair (unanswerable log, over-budget delta, saturation, spill)
+// are marked stale with a reason that cascades to their dependents;
+// entries touching a stale node recompute from scratch, and the rebuild
+// reloads the node from the fresh engine capture for everyone at once.
 namespace incremental_detail {
 
 namespace {
@@ -67,16 +85,31 @@ bool LexLess(std::span<const Value> a, std::span<const Value> b) {
   return CompareRows(a, b) < 0;
 }
 
+AttributeSet CanonicalAttrs(size_t arity) {
+  AttributeSet attrs;
+  attrs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back(static_cast<AttrId>(i));
+  }
+  return attrs;
+}
+
 }  // namespace
 
-// One max/argmax view of a maintained table — a node's output, a source's
-// S table, or the unit relation when neither index is set — filtered by an
-// atom's predicates: the incremental stand-in for the engines'
-// `ApplyPredicates + MaxCount + ArgMaxRow` on one multiplicity-table
-// piece. At most one of node/source is >= 0.
+struct SharedNode;
+
+// One max/argmax view of a maintained table — a shared node's output, or
+// the unit relation when `target` is null — filtered by an atom's
+// predicates: the incremental stand-in for the engines' `ApplyPredicates +
+// MaxCount + ArgMaxRow` on one multiplicity-table piece. Owned by a cache
+// entry (its RepairState); registered on the target node so the global
+// delta pass updates every dependent entry's trackers in one sweep.
+// `attrs` is the owning entry's attribute view of the target table (same
+// order as the table columns — signature sharing guarantees it), used to
+// build the checks and to map the argmax row back into result attributes.
 struct Tracker {
-  int node = -1;
-  int source = -1;
+  SharedNode* target = nullptr;
+  AttributeSet attrs;
   std::vector<std::pair<int, Predicate>> checks;  // (column, predicate)
   Count max = Count::Zero();
   std::vector<Value> argmax;  // lexmin row attaining max; empty when none
@@ -90,43 +123,32 @@ struct Tracker {
   }
 };
 
-// Incrementally maintained S_a: the atom's relation filtered by its
-// predicates and projected (with multiplicities) onto `keep`.
-struct SourceState {
-  int atom_index = -1;
-  std::string relation;
-  AttributeSet keep;
-  std::vector<size_t> keep_cols;  // relation column per keep attr
-  std::vector<size_t> pred_cols;  // relation column per atom predicate
-  DynTable table;
-  uint64_t version = 0;
-};
-
-// A reference to one maintained table of the DAG: a source's S table or an
-// earlier node's output. Exactly one of the two indexes is set (or neither,
-// for the unit relation in tracker targets).
-struct TableRef {
-  int source = -1;
-  int node = -1;
-};
-
-// One incrementally maintained fold table. Two kinds:
+// One shared, canonically-keyed maintained table plus the recipe to repair
+// it. Three kinds:
 //
-//   kGroup — out = γ_group(driver ⋈ inputs...): the legacy ⊥/⊤ form. The
-//   driver is a source (inputs keyed on driver columns), or a join node's
-//   output (a γ over a materialized fold; inputs stay empty — the join
-//   already folded everything in).
+//   kSource — S_a = γ_keep(σ_pred(R_a)): repaired straight from the
+//   relation's change log (keep_cols/preds address relation columns).
+//
+//   kGroup — out = γ_group(driver ⋈ inputs...). The driver is a source
+//   (inputs keyed on driver columns), or a join node's output (a γ over a
+//   materialized fold; inputs stay empty — the join already folded
+//   everything in).
 //
 //   kJoin — out = r⋈(pieces...): the materialized fold of pieces no single
-//   relation covers (multi-atom bags, attribute-sharing multiplicity-table
-//   components, per-tree root folds). Pieces are normalized, so every
-//   output row combines exactly one row per piece and carries their
-//   saturating count product over scope = ∪ piece attrs.
-struct NodeState {
-  enum class Kind { kGroup, kJoin };
+//   relation covers. Pieces are normalized, so every output row combines
+//   exactly one row per piece and carries their saturating count product
+//   over the scope = ∪ piece attrs.
+//
+// Children are held by shared_ptr (a node keeps its subtree alive);
+// `parents` are raw back-pointers maintained by the destructor, used to
+// cascade staleness upward. Entries keep shared_ptrs to every node they
+// depend on, so the store can drop exactly the nodes no entry references.
+struct SharedNode {
+  enum class Kind { kSource, kGroup, kJoin };
+  enum class StaleReason { kNone, kLog, kLargeDelta, kSaturated, kSpilled };
 
   struct Input {
-    int node = -1;                 // producer (already repaired this pass)
+    std::shared_ptr<SharedNode> node;
     std::vector<int> driver_cols;  // driver columns forming its key
     int driver_index = -1;         // secondary index on the driver for them
   };
@@ -141,18 +163,40 @@ struct NodeState {
   };
 
   struct Piece {
-    TableRef ref;
+    std::shared_ptr<SharedNode> ref;
     std::vector<int> scope_cols;  // scope column per piece-table column
-    int out_index = -1;           // index on `out` over scope_cols
+    int out_index = -1;           // index on `table` over scope_cols
     std::vector<Expand> expands;  // the other pieces, in piece order
   };
 
-  explicit NodeState(DynTable out_table) : out(std::move(out_table)) {}
+  SharedNode(Kind k, size_t arity, std::string signature)
+      : sig(std::move(signature)), kind(k), table(CanonicalAttrs(arity)) {}
+  SharedNode(const SharedNode&) = delete;
+  SharedNode& operator=(const SharedNode&) = delete;
+  ~SharedNode() {
+    auto drop = [&](const std::shared_ptr<SharedNode>& child) {
+      if (child == nullptr) return;
+      auto& v = child->parents;
+      v.erase(std::remove(v.begin(), v.end(), this), v.end());
+    };
+    drop(driver);
+    for (const Input& in : inputs) drop(in.node);
+    for (const Piece& p : pieces) drop(p.ref);
+  }
 
-  Kind kind = Kind::kGroup;
+  std::string sig;
+  uint64_t fp = 0;  // CanonicalFingerprint(sig); stats/display only
+  Kind kind;
+  DynTable table;  // canonical attrs {0..arity-1}
+
+  // kSource
+  std::string relation;
+  std::vector<size_t> keep_cols;  // relation column per output column
+  std::vector<std::pair<size_t, Predicate>> preds;  // (relation column, p)
+  uint64_t version = 0;  // relation version the table reflects
 
   // kGroup
-  TableRef driver;
+  std::shared_ptr<SharedNode> driver;
   std::vector<int> group_cols;  // driver columns forming the out key
   int driver_group_index = -1;  // secondary index on the driver for them
   std::vector<Input> inputs;
@@ -160,36 +204,66 @@ struct NodeState {
   // kJoin
   std::vector<Piece> pieces;
 
-  DynTable out;
+  // §5.4: this node is a tree's root fold and `total` is its running join
+  // size (TotalCount), consumed as the other trees' scale factor.
+  bool track_total = false;
+  Count total = Count::Zero();
+
+  StaleReason stale = StaleReason::kNone;
+  bool released = false;  // table storage dropped by the byte budget
+
+  std::vector<SharedNode*> parents;   // fold nodes consuming this one
+  std::vector<Tracker*> trackers;     // attached entry trackers
+  uint64_t seq = 0;        // creation order: children precede parents
+  uint64_t last_used = 0;  // LRU tick for the spill policy
+  size_t accounted_bytes = 0;  // last MemoryBytes charged to state_bytes
+
+  // Per delta pass: output keys whose count changed, for the parents.
+  std::vector<std::vector<Value>> changed;
 };
+
+// Marks a node unrepairable and cascades to every dependent fold node (a
+// stale child makes the parent's re-aggregation read stale state). The
+// first reason sticks; an already-stale node implies already-stale
+// ancestors, so the walk stops there.
+void MarkStale(SharedNode* node, SharedNode::StaleReason reason) {
+  if (node->stale != SharedNode::StaleReason::kNone) return;
+  node->stale = reason;
+  for (SharedNode* p : node->parents) MarkStale(p, reason);
+}
 
 struct RepairState {
   enum class Mode { kConstant, kPath, kGhd };
 
+  RepairState() = default;
+  RepairState(const RepairState&) = delete;
+  RepairState& operator=(const RepairState&) = delete;
+  ~RepairState() {
+    for (auto& unit : trackers) {
+      for (Tracker& t : unit) {
+        if (t.target == nullptr) continue;
+        auto& v = t.target->trackers;
+        v.erase(std::remove(v.begin(), v.end(), &t), v.end());
+      }
+    }
+  }
+
   Mode mode = Mode::kConstant;
-  std::vector<SourceState> sources;
-  std::vector<NodeState> nodes;  // in evaluation order
+  std::vector<std::shared_ptr<SharedNode>> sources;  // per atom / position
+  std::vector<std::shared_ptr<SharedNode>> nodes;    // acquire order
   // Result assembly: unit u covers atom assembly_atoms[u] with the pieces
   // trackers[u] (engine piece order). Path mode assembles per chain
-  // position, GHD mode per atom.
+  // position, GHD mode per atom. Tracker addresses must stay stable (the
+  // target nodes point back at them): the vectors are sized once in
+  // BuildState and never touched again.
   std::vector<int> assembly_atoms;
   std::vector<std::vector<Tracker>> trackers;
-  // table -> (unit, piece) refs, for O(1) tracker updates during repair.
-  std::vector<std::vector<std::pair<size_t, size_t>>> node_trackers;
-  std::vector<std::vector<std::pair<size_t, size_t>>> source_trackers;
-  // §5.4 disconnected forests: the running join total per decomposition
-  // tree, the node materializing each tree's root fold, and the tree each
-  // assembly unit's atom lives in. All empty for single-tree forests —
-  // the scale factor is then an empty product.
-  std::vector<Count> tree_totals;
-  std::vector<int> total_nodes;    // node index per tree
+  // §5.4 disconnected forests: the root node carrying each tree's running
+  // total and the tree each assembly unit's atom lives in. Empty for
+  // single-tree forests — the scale factor is then an empty product.
+  std::vector<std::shared_ptr<SharedNode>> total_nodes;
   std::vector<int> assembly_tree;  // tree per assembly unit
 };
-
-const DynTable& TrackedTable(const RepairState& state, const Tracker& t) {
-  return t.source >= 0 ? state.sources[static_cast<size_t>(t.source)].table
-                       : state.nodes[static_cast<size_t>(t.node)].out;
-}
 
 // The execution plan the facade would pick, from the cache's perspective.
 struct Plan {
@@ -257,50 +331,10 @@ Plan MakePlan(const ConjunctiveQuery& q, const TSensComputeOptions& options) {
   return plan;
 }
 
-SourceState MakeSource(const ConjunctiveQuery& q, int atom_index,
-                       AttributeSet keep) {
-  const Atom& atom = q.atom(atom_index);
-  SourceState src{atom_index, atom.relation, keep, {}, {}, DynTable(keep), 0};
-  src.keep_cols.reserve(keep.size());
-  for (AttrId a : keep) {
-    size_t col = 0;
-    while (atom.vars[col] != a) ++col;
-    src.keep_cols.push_back(col);
-  }
-  src.pred_cols.reserve(atom.predicates.size());
-  for (const Predicate& p : atom.predicates) {
-    size_t col = 0;
-    while (atom.vars[col] != p.var) ++col;
-    src.pred_cols.push_back(col);
-  }
-  return src;
-}
-
-Tracker MakeTracker(const ConjunctiveQuery& q, int atom_index, TableRef ref,
-                    const RepairState& state) {
-  Tracker t;
-  t.node = ref.node;
-  t.source = ref.source;
-  if (ref.node >= 0 || ref.source >= 0) {
-    const AttributeSet& attrs = TrackedTable(state, t).attrs();
-    for (const Predicate& p : q.atom(atom_index).predicates) {
-      auto it = std::lower_bound(attrs.begin(), attrs.end(), p.var);
-      if (it != attrs.end() && *it == p.var) {
-        t.checks.emplace_back(static_cast<int>(it - attrs.begin()), p);
-      }
-    }
-  } else {
-    t.max = Count::One();  // the unit relation: one empty row, count 1
-    t.dirty = false;
-  }
-  return t;
-}
-
 // Full recomputation of a tracker from its table (also the initial fill).
-void RescanTracker(Tracker& t, const RepairState& state,
-                   uint64_t* rows_touched) {
-  if (t.node < 0 && t.source < 0) return;
-  const DynTable& table = TrackedTable(state, t);
+void RescanTracker(Tracker& t, uint64_t* rows_touched) {
+  if (t.target == nullptr) return;
+  const DynTable& table = t.target->table;
   t.max = Count::Zero();
   t.argmax.clear();
   table.ForEachRow([&](uint32_t r) {
@@ -321,7 +355,7 @@ void RescanTracker(Tracker& t, const RepairState& state,
 // O(1) maintenance under one group change; marks dirty when only a rescan
 // can re-establish the engines' first-attaining-row tie-break.
 void UpdateTracker(Tracker& t, std::span<const Value> key, Count value) {
-  if (t.dirty || (t.node < 0 && t.source < 0) || !t.Passes(key)) return;
+  if (t.dirty || t.target == nullptr || !t.Passes(key)) return;
   if (value > t.max) {
     t.max = value;
     t.argmax.assign(key.begin(), key.end());
@@ -361,23 +395,34 @@ void SortUnique(std::vector<std::vector<Value>>* keys) {
 
 }  // namespace
 
+// The canonical-signature node store: one shared_ptr per live node. The
+// map ref plus children refs plus entry refs make use_count() == 1 the
+// exact "no entry depends on this anymore" test the sweep uses.
+struct NodeStore {
+  std::unordered_map<std::string, std::shared_ptr<SharedNode>> by_sig;
+  uint64_t next_seq = 0;
+};
+
 }  // namespace incremental_detail
 
+using incremental_detail::CanonicalAttrs;
+using incremental_detail::ColsOf;
 using incremental_detail::KeyShard;
 using incremental_detail::MakePlan;
-using incremental_detail::MakeSource;
-using incremental_detail::MakeTracker;
-using incremental_detail::NodeState;
+using incremental_detail::MarkStale;
+using incremental_detail::NodeStore;
 using incremental_detail::Plan;
 using incremental_detail::Project;
 using incremental_detail::RepairState;
 using incremental_detail::RescanTracker;
+using incremental_detail::SharedNode;
 using incremental_detail::SortUnique;
-using incremental_detail::SourceState;
-using incremental_detail::TableRef;
-using incremental_detail::TrackedTable;
 using incremental_detail::Tracker;
 using incremental_detail::UpdateTracker;
+
+struct SensitivityCache::Store {
+  NodeStore ns;
+};
 
 struct SensitivityCache::Entry {
   std::string key;
@@ -386,13 +431,11 @@ struct SensitivityCache::Entry {
   SensitivityResult result;
   std::unique_ptr<RepairState> state;  // null: memoize-only entry
   std::string unsupported_reason;      // when state is null
-  size_t state_bytes = 0;  // StateMemoryBytes(*state) as last accounted
-  bool spilled = false;    // state dropped by the byte budget
   uint64_t last_used = 0;
 };
 
 SensitivityCache::SensitivityCache(SensitivityCacheConfig config)
-    : config_(config) {
+    : config_(config), store_(std::make_unique<Store>()) {
   // At least the entry being inserted must survive an eviction sweep.
   config_.max_entries = std::max<size_t>(1, config_.max_entries);
   // The delta gate compares change counts against fraction * (rows +
@@ -407,30 +450,71 @@ SensitivityCache::~SensitivityCache() = default;
 
 void SensitivityCache::Clear() {
   entries_.clear();
-  stats_.state_bytes = 0;
+  SweepStore();
 }
 
-// Spills repair state, least-recently-used first, until the held DynTable
-// bytes fit the budget. Results stay memoized (unchanged versions still
-// hit); a spilled entry recomputes and re-captures on the next change.
-// Whole entries are never evicted here — max_entries owns that.
+// Drops store nodes no entry references anymore. A node is held by the
+// store map, by its parents' recipes, and by every dependent entry; once
+// only the map holds it (use_count == 1) nothing can reach it. Erasing a
+// parent releases its children, so iterate to the fixpoint.
+void SensitivityCache::SweepStore() {
+  auto& by_sig = store_->ns.by_sig;
+  bool erased = true;
+  while (erased) {
+    erased = false;
+    for (auto it = by_sig.begin(); it != by_sig.end();) {
+      if (it->second.use_count() == 1) {
+        stats_.state_bytes -= it->second->accounted_bytes;
+        it = by_sig.erase(it);
+        erased = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  stats_.shared_nodes = by_sig.size();
+}
+
+namespace {
+
+// Re-charges a node's DynTable footprint against the global gauge.
+void RefreshNodeBytes(SharedNode& node, SensitivityCacheStats& stats) {
+  stats.state_bytes -= node.accounted_bytes;
+  node.accounted_bytes = node.released ? 0 : node.table.MemoryBytes();
+  stats.state_bytes += node.accounted_bytes;
+}
+
+}  // namespace
+
+// Spills shared-node tables, stale-first then least-recently-used, until
+// the held DynTable bytes fit the budget. Results stay memoized (unchanged
+// versions still hit) and the node recipes stay installed; a spilled node
+// is stale, so the next dependent recompute reloads it from that entry's
+// fresh capture — for every other dependent too.
 void SensitivityCache::EnforceStateBudget(ExecContext& ctx) {
   if (config_.max_state_bytes == 0) return;
   while (stats_.state_bytes > config_.max_state_bytes) {
-    Entry* victim = nullptr;
-    for (const auto& e : entries_) {
-      if (e->state == nullptr || e->state_bytes == 0) continue;
-      if (victim == nullptr || e->last_used < victim->last_used) {
-        victim = e.get();
+    SharedNode* victim = nullptr;
+    for (const auto& [sig, node] : store_->ns.by_sig) {
+      if (node->released || node->accounted_bytes == 0) continue;
+      if (victim == nullptr) {
+        victim = node.get();
+        continue;
+      }
+      const bool v_stale = victim->stale != SharedNode::StaleReason::kNone;
+      const bool n_stale = node->stale != SharedNode::StaleReason::kNone;
+      if (n_stale != v_stale ? n_stale
+                             : node->last_used < victim->last_used) {
+        victim = node.get();
       }
     }
     if (victim == nullptr) return;  // nothing left to spill
-    stats_.state_bytes -= victim->state_bytes;
     ++stats_.spills;
-    ctx.Record("cache.spill", victim->state_bytes, 0, 0, 0.0);
-    victim->state_bytes = 0;
-    victim->state.reset();
-    victim->spilled = true;
+    ctx.Record("cache.spill", victim->accounted_bytes, 0, 0, 0.0);
+    victim->table.Release();
+    victim->released = true;
+    MarkStale(victim, SharedNode::StaleReason::kSpilled);
+    RefreshNodeBytes(*victim, stats_);
   }
 }
 
@@ -488,15 +572,254 @@ bool ContainsAtom(const std::vector<int>& skip_atoms, int atom) {
          skip_atoms.end();
 }
 
+// Entry-local handle on an acquired node: the index spaces mirror the old
+// per-entry layout (sources by atom/position, fold nodes by acquire
+// order). Exactly one of the two is set, or neither for the unit relation.
+struct TableRef {
+  int source = -1;
+  int node = -1;
+};
+
+// Builds one entry's RepairState against the shared store: every table is
+// acquired by canonical signature — attached when a structurally identical
+// node already exists (reloading it from this entry's capture when stale
+// or spilled, and rescanning every attached tracker so the non-stale ⇒
+// valid-trackers invariant holds), created and loaded otherwise. Because
+// SyncStore runs before the engine on every path that reaches here, an
+// existing non-stale node is guaranteed current, which the acquire
+// verifies against the capture snapshot.
+struct StateBuilder {
+  const ConjunctiveQuery& q;
+  const Database& db;
+  NodeStore& store;
+  SensitivityCacheStats& stats;
+  const uint64_t tick;
+  RepairState& state;
+  std::vector<AttributeSet> source_attrs;  // entry view, parallel to sources
+  std::vector<AttributeSet> node_attrs;    // entry view, parallel to nodes
+  uint64_t scan_rows = 0;                  // tracker rescans on reload
+
+  const AttributeSet& attrs_of(TableRef ref) const {
+    return ref.source >= 0 ? source_attrs[static_cast<size_t>(ref.source)]
+                           : node_attrs[static_cast<size_t>(ref.node)];
+  }
+  const std::shared_ptr<SharedNode>& ptr_of(TableRef ref) const {
+    return ref.source >= 0 ? state.sources[static_cast<size_t>(ref.source)]
+                           : state.nodes[static_cast<size_t>(ref.node)];
+  }
+
+  template <typename BuildFn>
+  std::shared_ptr<SharedNode> Acquire(const std::string& sig,
+                                      SharedNode::Kind kind,
+                                      const CountedRelation& snapshot,
+                                      BuildFn&& build, bool* current) {
+    auto it = store.by_sig.find(sig);
+    if (it != store.by_sig.end()) {
+      const std::shared_ptr<SharedNode>& node = it->second;
+      LSENS_CHECK(node->kind == kind);
+      node->last_used = tick;
+      ++stats.shared_attaches;
+      if (node->stale != SharedNode::StaleReason::kNone) {
+        node->table.LoadRows(snapshot);
+        node->released = false;
+        node->stale = SharedNode::StaleReason::kNone;
+        for (Tracker* t : node->trackers) RescanTracker(*t, &scan_rows);
+        *current = false;
+      } else {
+        // SyncStore already advanced it to the data the engine just read.
+        LSENS_CHECK(node->table.num_rows() == snapshot.NumRows());
+        *current = true;
+      }
+      RefreshNodeBytes(*node, stats);
+      return node;
+    }
+    std::shared_ptr<SharedNode> node = build();
+    node->fp = CanonicalFingerprint(sig);
+    node->seq = store.next_seq++;
+    node->last_used = tick;
+    node->table.LoadRows(snapshot);
+    store.by_sig.emplace(sig, node);
+    stats.shared_nodes = store.by_sig.size();
+    RefreshNodeBytes(*node, stats);
+    *current = false;
+    return node;
+  }
+
+  // S_a = γ_keep(σ_pred(R_a)). `engine_sig` is the canonical signature the
+  // engine derived for its captured table — it must agree with the cache's
+  // own derivation, so engine and cache can never silently disagree about
+  // what a shared table holds.
+  TableRef AcquireSource(int atom_index, AttributeSet keep,
+                         const CountedRelation& snapshot,
+                         const std::string& engine_sig) {
+    const Atom& atom = q.atom(atom_index);
+    std::string sig = CanonicalSourceSignature(atom, keep);
+    LSENS_CHECK(sig == engine_sig);
+    bool current = false;
+    std::shared_ptr<SharedNode> node = Acquire(
+        sig, SharedNode::Kind::kSource, snapshot,
+        [&] {
+          auto n = std::make_shared<SharedNode>(SharedNode::Kind::kSource,
+                                                keep.size(), sig);
+          n->relation = atom.relation;
+          n->keep_cols.reserve(keep.size());
+          for (AttrId a : keep) {
+            size_t col = 0;
+            while (atom.vars[col] != a) ++col;
+            n->keep_cols.push_back(col);
+          }
+          n->preds.reserve(atom.predicates.size());
+          for (const Predicate& p : atom.predicates) {
+            size_t col = 0;
+            while (atom.vars[col] != p.var) ++col;
+            n->preds.emplace_back(col, p);
+          }
+          return n;
+        },
+        &current);
+    const Relation* rel = db.Find(atom.relation);
+    LSENS_CHECK(rel != nullptr);  // the engine just read it
+    if (current) {
+      LSENS_CHECK(node->version == rel->version());
+    } else {
+      node->version = rel->version();
+    }
+    state.sources.push_back(std::move(node));
+    source_attrs.push_back(std::move(keep));
+    return TableRef{static_cast<int>(state.sources.size() - 1), -1};
+  }
+
+  // out = γ_group(driver ⋈ inputs...); inputs are (child, driver columns
+  // carrying its key) in the engine's order.
+  TableRef AddGroupNode(
+      TableRef driver, const AttributeSet& group,
+      const std::vector<std::pair<TableRef, std::vector<int>>>& inputs,
+      const CountedRelation& snapshot) {
+    std::vector<int> group_cols = ColsOf(attrs_of(driver), group);
+    std::vector<CanonicalChild> canon_inputs;
+    canon_inputs.reserve(inputs.size());
+    for (const auto& [ref, driver_cols] : inputs) {
+      canon_inputs.push_back(CanonicalChild{ptr_of(ref)->sig, driver_cols});
+    }
+    std::string sig = CanonicalGroupSignature(ptr_of(driver)->sig, group_cols,
+                                              std::move(canon_inputs));
+    bool current = false;
+    std::shared_ptr<SharedNode> node = Acquire(
+        sig, SharedNode::Kind::kGroup, snapshot,
+        [&] {
+          auto n = std::make_shared<SharedNode>(SharedNode::Kind::kGroup,
+                                                group.size(), sig);
+          n->driver = ptr_of(driver);
+          n->group_cols = group_cols;
+          n->driver_group_index = n->driver->table.AddIndex(group_cols);
+          for (const auto& [ref, driver_cols] : inputs) {
+            SharedNode::Input in;
+            in.node = ptr_of(ref);
+            in.driver_cols = driver_cols;
+            in.driver_index = n->driver->table.AddIndex(driver_cols);
+            n->inputs.push_back(std::move(in));
+          }
+          n->driver->parents.push_back(n.get());
+          for (const SharedNode::Input& in : n->inputs) {
+            in.node->parents.push_back(n.get());
+          }
+          return n;
+        },
+        &current);
+    state.nodes.push_back(std::move(node));
+    node_attrs.push_back(group);
+    return TableRef{-1, static_cast<int>(state.nodes.size() - 1)};
+  }
+
+  // out = r⋈(piece_refs...) over scope = ∪ piece attrs, loaded from the
+  // engine's fold snapshot. Expansion plans: a changed key of piece i
+  // enumerates the newly joinable scope tuples by extending through the
+  // other pieces in piece order, each probed on the columns it shares with
+  // the scope attributes bound so far.
+  TableRef AddJoinNode(const std::vector<TableRef>& piece_refs,
+                       const CountedRelation& snapshot) {
+    AttributeSet scope;
+    for (TableRef ref : piece_refs) scope = Union(scope, attrs_of(ref));
+    std::vector<CanonicalChild> canon_pieces;
+    canon_pieces.reserve(piece_refs.size());
+    for (TableRef ref : piece_refs) {
+      canon_pieces.push_back(
+          CanonicalChild{ptr_of(ref)->sig, ColsOf(scope, attrs_of(ref))});
+    }
+    std::string sig = CanonicalJoinSignature(std::move(canon_pieces));
+    bool current = false;
+    std::shared_ptr<SharedNode> node = Acquire(
+        sig, SharedNode::Kind::kJoin, snapshot,
+        [&] {
+          auto n = std::make_shared<SharedNode>(SharedNode::Kind::kJoin,
+                                                scope.size(), sig);
+          for (TableRef ref : piece_refs) {
+            SharedNode::Piece piece;
+            piece.ref = ptr_of(ref);
+            piece.scope_cols = ColsOf(scope, attrs_of(ref));
+            piece.out_index = n->table.AddIndex(piece.scope_cols);
+            n->pieces.push_back(std::move(piece));
+          }
+          for (size_t i = 0; i < n->pieces.size(); ++i) {
+            AttributeSet bound = attrs_of(piece_refs[i]);
+            for (size_t j = 0; j < n->pieces.size(); ++j) {
+              if (j == i) continue;
+              const AttributeSet& pj = attrs_of(piece_refs[j]);
+              SharedNode::Expand e;
+              e.piece = j;
+              // An empty shared set degrades to the full-table chain (the
+              // within-component cross-product case) — still correct, the
+              // later probes filter.
+              AttributeSet shared = Intersect(pj, bound);
+              e.index =
+                  n->pieces[j].ref->table.AddIndex(ColsOf(pj, shared));
+              e.probe_scope_cols = ColsOf(scope, shared);
+              n->pieces[i].expands.push_back(std::move(e));
+              bound = Union(bound, pj);
+            }
+          }
+          for (const SharedNode::Piece& piece : n->pieces) {
+            piece.ref->parents.push_back(n.get());
+          }
+          return n;
+        },
+        &current);
+    state.nodes.push_back(std::move(node));
+    node_attrs.push_back(std::move(scope));
+    return TableRef{-1, static_cast<int>(state.nodes.size() - 1)};
+  }
+
+  Tracker MakeTracker(int atom_index, TableRef ref) {
+    Tracker t;
+    if (ref.source >= 0 || ref.node >= 0) {
+      t.target = ptr_of(ref).get();
+      t.attrs = attrs_of(ref);
+      for (const Predicate& p : q.atom(atom_index).predicates) {
+        auto it = std::lower_bound(t.attrs.begin(), t.attrs.end(), p.var);
+        if (it != t.attrs.end() && *it == p.var) {
+          t.checks.emplace_back(static_cast<int>(it - t.attrs.begin()), p);
+        }
+      }
+    } else {
+      t.max = Count::One();  // the unit relation: one empty row, count 1
+      t.dirty = false;
+    }
+    return t;
+  }
+};
+
 // Builds the repairable state for a supported plan from the engine capture
-// (the exact tables the from-scratch answer was computed from).
-std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
-                                        const Plan& plan,
-                                        TSensCapture capture,
-                                        const std::vector<int>& skip_atoms) {
+// (the exact tables the from-scratch answer was computed from), acquiring
+// every table through the shared store.
+std::unique_ptr<RepairState> BuildState(
+    const ConjunctiveQuery& q, const Plan& plan, TSensCapture capture,
+    const std::vector<int>& skip_atoms, const Database& db, NodeStore& ns,
+    SensitivityCacheStats& stats, uint64_t tick, uint64_t* rows_touched) {
   auto state = std::make_unique<RepairState>();
   state->mode = plan.mode;
   if (plan.mode == RepairState::Mode::kConstant) return state;
+
+  StateBuilder b{q, db, ns, stats, tick, *state, {}, {}, 0};
 
   if (plan.mode == RepairState::Mode::kPath) {
     const std::vector<int>& order = plan.order;
@@ -508,69 +831,50 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
       LSENS_CHECK(common.size() == 1);
       link[i] = common[0];
     }
+    LSENS_CHECK(capture.s_sig.size() == m);
+    std::vector<TableRef> sources(m);
     for (size_t i = 0; i < m; ++i) {
       AttributeSet keep;
       if (i > 0) keep.push_back(link[i - 1]);
       if (i + 1 < m) keep.push_back(link[i]);
       keep = MakeAttributeSet(std::move(keep));
-      state->sources.push_back(MakeSource(q, order[i], std::move(keep)));
-      LSENS_CHECK(capture.s[i].attrs() == state->sources[i].keep);
-      state->sources[i].table.Load(capture.s[i]);
+      LSENS_CHECK(capture.s[i].attrs() == keep);
+      sources[i] = b.AcquireSource(order[i], std::move(keep), capture.s[i],
+                                   capture.s_sig[i]);
     }
     // Nodes: the two chains, each in its dependency order. topjoin[i] is
     // driven by S_{i-1} (grouped on link[i-1]); botjoin[i] by S_i.
-    std::vector<int> top_node(m, -1);
-    std::vector<int> bot_node(m, -1);
-    auto add_node = [&](int source, AttrId group_attr,
-                        std::optional<NodeState::Input> input,
-                        const CountedRelation& snapshot) {
-      SourceState& driver = state->sources[static_cast<size_t>(source)];
-      NodeState node{DynTable(AttributeSet{group_attr})};
-      node.driver = TableRef{source, -1};
-      node.group_cols = incremental_detail::ColsOf(driver.keep, {group_attr});
-      node.driver_group_index = driver.table.AddIndex(node.group_cols);
-      if (input.has_value()) {
-        input->driver_index = driver.table.AddIndex(input->driver_cols);
-        node.inputs.push_back(std::move(*input));
-      }
-      LSENS_CHECK(snapshot.attrs() == node.out.attrs());
-      node.out.Load(snapshot);
-      state->nodes.push_back(std::move(node));
-      return static_cast<int>(state->nodes.size() - 1);
-    };
+    std::vector<TableRef> top_node(m);
+    std::vector<TableRef> bot_node(m);
     for (size_t i = 1; i < m; ++i) {
-      std::optional<NodeState::Input> input;
+      std::vector<std::pair<TableRef, std::vector<int>>> inputs;
       if (i >= 2) {
-        input = NodeState::Input{
+        inputs.emplace_back(
             top_node[i - 1],
-            incremental_detail::ColsOf(state->sources[i - 1].keep,
-                                       {link[i - 2]}),
-            -1};
+            ColsOf(b.attrs_of(sources[i - 1]), {link[i - 2]}));
       }
-      top_node[i] = add_node(static_cast<int>(i - 1), link[i - 1],
-                             std::move(input), *capture.top[i]);
+      top_node[i] = b.AddGroupNode(sources[i - 1],
+                                   AttributeSet{link[i - 1]}, inputs,
+                                   *capture.top[i]);
     }
     for (size_t i = m - 1; i >= 1; --i) {
-      std::optional<NodeState::Input> input;
+      std::vector<std::pair<TableRef, std::vector<int>>> inputs;
       if (i + 1 < m) {
-        input = NodeState::Input{
-            bot_node[i + 1],
-            incremental_detail::ColsOf(state->sources[i].keep, {link[i]}),
-            -1};
+        inputs.emplace_back(bot_node[i + 1],
+                            ColsOf(b.attrs_of(sources[i]), {link[i]}));
       }
-      bot_node[i] = add_node(static_cast<int>(i), link[i - 1],
-                             std::move(input), *capture.bot[i]);
+      bot_node[i] = b.AddGroupNode(sources[i], AttributeSet{link[i - 1]},
+                                   inputs, *capture.bot[i]);
     }
     // Assembly: position i multiplies the filtered maxima of ⊤_i (topjoin
     // at i; unit at the left end) and ⊥_{i+1} (botjoin; unit at the right).
     state->assembly_atoms = order;
     state->trackers.resize(m);
     for (size_t i = 0; i < m; ++i) {
-      state->trackers[i].push_back(MakeTracker(
-          q, order[i], TableRef{-1, i == 0 ? -1 : top_node[i]}, *state));
-      state->trackers[i].push_back(MakeTracker(
-          q, order[i], TableRef{-1, i + 1 == m ? -1 : bot_node[i + 1]},
-          *state));
+      state->trackers[i].push_back(
+          b.MakeTracker(order[i], i == 0 ? TableRef{} : top_node[i]));
+      state->trackers[i].push_back(
+          b.MakeTracker(order[i], i + 1 == m ? TableRef{} : bot_node[i + 1]));
     }
   } else {
     const Ghd& ghd = *plan.ghd;
@@ -578,87 +882,15 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
     const size_t num_bags = ghd.bags.size();
     const size_t num_trees = ghd.forest.trees.size();
 
+    LSENS_CHECK(capture.s_sig.size() == static_cast<size_t>(num_atoms));
+    std::vector<TableRef> sources(static_cast<size_t>(num_atoms));
     for (int a = 0; a < num_atoms; ++a) {
-      state->sources.push_back(MakeSource(q, a, q.SharedVarsOf(a)));
-      LSENS_CHECK(capture.s[static_cast<size_t>(a)].attrs() ==
-                  state->sources[static_cast<size_t>(a)].keep);
-      state->sources[static_cast<size_t>(a)].table.Load(
-          capture.s[static_cast<size_t>(a)]);
+      AttributeSet keep = q.SharedVarsOf(a);
+      LSENS_CHECK(capture.s[static_cast<size_t>(a)].attrs() == keep);
+      sources[static_cast<size_t>(a)] =
+          b.AcquireSource(a, std::move(keep), capture.s[static_cast<size_t>(a)],
+                          capture.s_sig[static_cast<size_t>(a)]);
     }
-
-    auto table_of = [&](TableRef ref) -> DynTable& {
-      return ref.source >= 0
-                 ? state->sources[static_cast<size_t>(ref.source)].table
-                 : state->nodes[static_cast<size_t>(ref.node)].out;
-    };
-    auto attrs_of = [&](TableRef ref) -> const AttributeSet& {
-      return table_of(ref).attrs();
-    };
-
-    // γ_group over a driver: a source with its per-key inputs, or a
-    // materialized join node's output (inputs empty — already folded in).
-    auto add_group_node = [&](TableRef driver, const AttributeSet& group,
-                              std::vector<NodeState::Input> inputs,
-                              const CountedRelation& snapshot) {
-      NodeState node{DynTable(group)};
-      node.kind = NodeState::Kind::kGroup;
-      node.driver = driver;
-      node.group_cols = incremental_detail::ColsOf(attrs_of(driver), group);
-      {
-        DynTable& driver_table = table_of(driver);
-        node.driver_group_index = driver_table.AddIndex(node.group_cols);
-        node.inputs = std::move(inputs);
-        for (NodeState::Input& input : node.inputs) {
-          input.driver_index = driver_table.AddIndex(input.driver_cols);
-        }
-      }
-      LSENS_CHECK(snapshot.attrs() == node.out.attrs());
-      node.out.Load(snapshot);
-      state->nodes.push_back(std::move(node));
-      return static_cast<int>(state->nodes.size() - 1);
-    };
-
-    // Materialized r⋈ of `piece_refs` over scope = ∪ piece attrs, loaded
-    // from the engine's fold snapshot. Expansion plans: a changed key of
-    // piece i enumerates the newly joinable scope tuples by extending
-    // through the other pieces in piece order, each probed on the columns
-    // it shares with the scope attributes bound so far.
-    auto add_join_node = [&](const std::vector<TableRef>& piece_refs,
-                             const CountedRelation& snapshot) {
-      AttributeSet scope;
-      for (TableRef ref : piece_refs) scope = Union(scope, attrs_of(ref));
-      NodeState node{DynTable(scope)};
-      node.kind = NodeState::Kind::kJoin;
-      LSENS_CHECK(snapshot.attrs() == scope);
-      node.out.Load(snapshot);
-      for (TableRef ref : piece_refs) {
-        NodeState::Piece piece;
-        piece.ref = ref;
-        piece.scope_cols = incremental_detail::ColsOf(scope, attrs_of(ref));
-        piece.out_index = node.out.AddIndex(piece.scope_cols);
-        node.pieces.push_back(std::move(piece));
-      }
-      for (size_t i = 0; i < node.pieces.size(); ++i) {
-        AttributeSet bound = attrs_of(piece_refs[i]);
-        for (size_t j = 0; j < node.pieces.size(); ++j) {
-          if (j == i) continue;
-          const AttributeSet& pj = attrs_of(piece_refs[j]);
-          NodeState::Expand e;
-          e.piece = j;
-          // An empty shared set degrades to the full-table chain (the
-          // within-component cross-product case) — still correct, the
-          // later probes filter.
-          AttributeSet shared = Intersect(pj, bound);
-          e.index = table_of(piece_refs[j])
-                        .AddIndex(incremental_detail::ColsOf(pj, shared));
-          e.probe_scope_cols = incremental_detail::ColsOf(scope, shared);
-          node.pieces[i].expands.push_back(std::move(e));
-          bound = Union(bound, pj);
-        }
-      }
-      state->nodes.push_back(std::move(node));
-      return static_cast<int>(state->nodes.size() - 1);
-    };
 
     std::vector<int> bag_of(static_cast<size_t>(num_atoms), -1);
     for (size_t v = 0; v < num_bags; ++v) {
@@ -667,13 +899,12 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
       }
     }
 
-    std::vector<int> bot_node(num_bags, -1);
-    std::vector<int> top_node(num_bags, -1);
+    std::vector<TableRef> bot_node(num_bags);
+    std::vector<TableRef> top_node(num_bags);
     const bool track_totals = num_trees >= 2;
     if (track_totals) {
       LSENS_CHECK(capture.tree_total.size() == num_trees);
-      state->tree_totals = capture.tree_total;
-      state->total_nodes.assign(num_trees, -1);
+      state->total_nodes.resize(num_trees);
     }
 
     for (size_t t = 0; t < num_trees; ++t) {
@@ -685,20 +916,17 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
         const GhdBag& spec = ghd.bags[static_cast<size_t>(bag)];
         const int parent = tree.Parent(bag);
         std::vector<TableRef> piece_refs;
-        for (int a : spec.atom_indices) piece_refs.push_back(TableRef{a, -1});
+        for (int a : spec.atom_indices) {
+          piece_refs.push_back(sources[static_cast<size_t>(a)]);
+        }
         for (int c : tree.Children(bag)) {
-          piece_refs.push_back(TableRef{-1, bot_node[static_cast<size_t>(c)]});
+          piece_refs.push_back(bot_node[static_cast<size_t>(c)]);
         }
         auto child_inputs = [&](const AttributeSet& driver_attrs) {
-          std::vector<NodeState::Input> inputs;
+          std::vector<std::pair<TableRef, std::vector<int>>> inputs;
           for (int c : tree.Children(bag)) {
-            const int cn = bot_node[static_cast<size_t>(c)];
-            inputs.push_back(NodeState::Input{
-                cn,
-                incremental_detail::ColsOf(
-                    driver_attrs, state->nodes[static_cast<size_t>(cn)]
-                                      .out.attrs()),
-                -1});
+            const TableRef cn = bot_node[static_cast<size_t>(c)];
+            inputs.emplace_back(cn, ColsOf(driver_attrs, b.attrs_of(cn)));
           }
           return inputs;
         };
@@ -707,31 +935,38 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
           // cross-tree scale factors need its running total.
           if (!track_totals) continue;
           LSENS_CHECK(capture.root_join[t].has_value());
-          int root;
+          TableRef root;
           if (spec.atom_indices.size() == 1) {
-            const TableRef drv{spec.atom_indices[0], -1};
-            const AttributeSet keep = attrs_of(drv);
-            root = add_group_node(drv, keep, child_inputs(keep),
+            const TableRef drv = sources[static_cast<size_t>(
+                spec.atom_indices[0])];
+            const AttributeSet keep = b.attrs_of(drv);
+            root = b.AddGroupNode(drv, keep, child_inputs(keep),
                                   *capture.root_join[t]);
           } else {
-            root = add_join_node(piece_refs, *capture.root_join[t]);
+            root = b.AddJoinNode(piece_refs, *capture.root_join[t]);
           }
-          state->total_nodes[t] = root;
+          // The engine's total reflects exactly the rows just loaded (or
+          // verified current), so it is correct for every acquire outcome.
+          const std::shared_ptr<SharedNode>& root_node = b.ptr_of(root);
+          root_node->track_total = true;
+          root_node->total = capture.tree_total[t];
+          state->total_nodes[t] = root_node;
           continue;
         }
         const AttributeSet link = Intersect(
             spec.vars, ghd.bags[static_cast<size_t>(parent)].vars);
         if (spec.atom_indices.size() == 1) {
-          const TableRef drv{spec.atom_indices[0], -1};
+          const TableRef drv =
+              sources[static_cast<size_t>(spec.atom_indices[0])];
           bot_node[static_cast<size_t>(bag)] =
-              add_group_node(drv, link, child_inputs(attrs_of(drv)),
+              b.AddGroupNode(drv, link, child_inputs(b.attrs_of(drv)),
                              *capture.bot[static_cast<size_t>(bag)]);
         } else {
           LSENS_CHECK(capture.bot_join[static_cast<size_t>(bag)].has_value());
-          const int j = add_join_node(
+          const TableRef j = b.AddJoinNode(
               piece_refs, *capture.bot_join[static_cast<size_t>(bag)]);
           bot_node[static_cast<size_t>(bag)] =
-              add_group_node(TableRef{-1, j}, link, {},
+              b.AddGroupNode(j, link, {},
                              *capture.bot[static_cast<size_t>(bag)]);
         }
       }
@@ -745,35 +980,33 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
             ghd.bags[static_cast<size_t>(bag)].vars, pspec.vars);
         std::vector<TableRef> upper_refs;  // ⊤(p)? then sibling ⊥s
         if (tree.Parent(p) != -1) {
-          upper_refs.push_back(TableRef{-1, top_node[static_cast<size_t>(p)]});
+          upper_refs.push_back(top_node[static_cast<size_t>(p)]);
         }
         for (int sib : tree.Neighbors(bag)) {
-          upper_refs.push_back(
-              TableRef{-1, bot_node[static_cast<size_t>(sib)]});
+          upper_refs.push_back(bot_node[static_cast<size_t>(sib)]);
         }
         if (pspec.atom_indices.size() == 1) {
-          const TableRef drv{pspec.atom_indices[0], -1};
-          const AttributeSet& driver_attrs = attrs_of(drv);
-          std::vector<NodeState::Input> inputs;
+          const TableRef drv =
+              sources[static_cast<size_t>(pspec.atom_indices[0])];
+          const AttributeSet& driver_attrs = b.attrs_of(drv);
+          std::vector<std::pair<TableRef, std::vector<int>>> inputs;
           for (TableRef ref : upper_refs) {
-            inputs.push_back(NodeState::Input{
-                ref.node,
-                incremental_detail::ColsOf(driver_attrs, attrs_of(ref)), -1});
+            inputs.emplace_back(ref, ColsOf(driver_attrs, b.attrs_of(ref)));
           }
           top_node[static_cast<size_t>(bag)] =
-              add_group_node(drv, link, std::move(inputs),
+              b.AddGroupNode(drv, link, inputs,
                              *capture.top[static_cast<size_t>(bag)]);
         } else {
           std::vector<TableRef> piece_refs;
           for (int a : pspec.atom_indices) {
-            piece_refs.push_back(TableRef{a, -1});
+            piece_refs.push_back(sources[static_cast<size_t>(a)]);
           }
           for (TableRef ref : upper_refs) piece_refs.push_back(ref);
           LSENS_CHECK(capture.top_join[static_cast<size_t>(bag)].has_value());
-          const int j = add_join_node(
+          const TableRef j = b.AddJoinNode(
               piece_refs, *capture.top_join[static_cast<size_t>(bag)]);
           top_node[static_cast<size_t>(bag)] =
-              add_group_node(TableRef{-1, j}, link, {},
+              b.AddGroupNode(j, link, {},
                              *capture.top[static_cast<size_t>(bag)]);
         }
       }
@@ -802,13 +1035,15 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
 
       std::vector<TableRef> piece_refs;  // engine piece order
       if (tree.Parent(v) != -1) {
-        piece_refs.push_back(TableRef{-1, top_node[static_cast<size_t>(v)]});
+        piece_refs.push_back(top_node[static_cast<size_t>(v)]);
       }
       for (int c : tree.Children(v)) {
-        piece_refs.push_back(TableRef{-1, bot_node[static_cast<size_t>(c)]});
+        piece_refs.push_back(bot_node[static_cast<size_t>(c)]);
       }
-      for (int b : ghd.bags[static_cast<size_t>(v)].atom_indices) {
-        if (b != a) piece_refs.push_back(TableRef{b, -1});
+      for (int other : ghd.bags[static_cast<size_t>(v)].atom_indices) {
+        if (other != a) {
+          piece_refs.push_back(sources[static_cast<size_t>(other)]);
+        }
       }
 
       // Attribute-connectivity components, replicating the engine's
@@ -822,7 +1057,8 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
       };
       for (size_t i = 0; i < n; ++i) {
         for (size_t j = i + 1; j < n; ++j) {
-          if (Intersects(attrs_of(piece_refs[i]), attrs_of(piece_refs[j]))) {
+          if (Intersects(b.attrs_of(piece_refs[i]),
+                         b.attrs_of(piece_refs[j]))) {
             uf[find(i)] = find(j);
           }
         }
@@ -845,7 +1081,7 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
         const std::vector<size_t>& comp = components[ci];
         AttributeSet comp_attrs;
         for (size_t idx : comp) {
-          comp_attrs = Union(comp_attrs, attrs_of(piece_refs[idx]));
+          comp_attrs = Union(comp_attrs, b.attrs_of(piece_refs[idx]));
         }
         const AttributeSet group = Intersect(table_attrs, comp_attrs);
         const bool group_is_full = group == comp_attrs;
@@ -857,48 +1093,37 @@ std::unique_ptr<RepairState> BuildState(const ConjunctiveQuery& q,
           target = piece_refs[comp[0]];
         } else if (comp.size() == 1) {
           LSENS_CHECK(caps[ci].table.has_value());
-          target = TableRef{
-              -1, add_group_node(piece_refs[comp[0]], group, {},
-                                 *caps[ci].table)};
+          target = b.AddGroupNode(piece_refs[comp[0]], group, {},
+                                  *caps[ci].table);
         } else {
           LSENS_CHECK(caps[ci].join.has_value());
           std::vector<TableRef> comp_refs;
           for (size_t idx : comp) comp_refs.push_back(piece_refs[idx]);
-          const int j = add_join_node(comp_refs, *caps[ci].join);
+          const TableRef j = b.AddJoinNode(comp_refs, *caps[ci].join);
           if (group_is_full) {
-            target = TableRef{-1, j};
+            target = j;
           } else {
             LSENS_CHECK(caps[ci].table.has_value());
-            target = TableRef{
-                -1,
-                add_group_node(TableRef{-1, j}, group, {}, *caps[ci].table)};
+            target = b.AddGroupNode(j, group, {}, *caps[ci].table);
           }
         }
         state->trackers[static_cast<size_t>(a)].push_back(
-            MakeTracker(q, a, target, *state));
+            b.MakeTracker(a, target));
       }
     }
   }
 
-  // Initial tracker fill: one pass per piece over its (freshly loaded)
-  // table, so the first repair starts from clean trackers.
-  uint64_t ignored = 0;
-  state->node_trackers.resize(state->nodes.size());
-  state->source_trackers.resize(state->sources.size());
-  for (size_t u = 0; u < state->trackers.size(); ++u) {
-    for (size_t p = 0; p < state->trackers[u].size(); ++p) {
-      Tracker& t = state->trackers[u][p];
-      if (t.node >= 0) {
-        state->node_trackers[static_cast<size_t>(t.node)].emplace_back(u, p);
-      } else if (t.source >= 0) {
-        state->source_trackers[static_cast<size_t>(t.source)].emplace_back(
-            u, p);
-      } else {
-        continue;
-      }
-      RescanTracker(t, *state, &ignored);
+  // Register and fill the trackers last: the tracker vectors never resize
+  // again, so the addresses handed to the nodes stay valid until the
+  // RepairState destructor detaches them.
+  for (auto& unit : state->trackers) {
+    for (Tracker& t : unit) {
+      if (t.target == nullptr) continue;
+      t.target->trackers.push_back(&t);
+      RescanTracker(t, &b.scan_rows);
     }
   }
+  *rows_touched += b.scan_rows;
   return state;
 }
 
@@ -925,27 +1150,28 @@ SensitivityResult Assemble(RepairState& state, const ConjunctiveQuery& q,
     // §5.4 scale factor: adding a tuple here combines with every full
     // result of the other decomposition trees.
     Count product = Count::One();
-    if (!state.tree_totals.empty()) {
+    if (!state.total_nodes.empty()) {
       const int tree = state.assembly_tree[u];
-      for (size_t t2 = 0; t2 < state.tree_totals.size(); ++t2) {
-        if (t2 != static_cast<size_t>(tree)) product *= state.tree_totals[t2];
+      for (size_t t2 = 0; t2 < state.total_nodes.size(); ++t2) {
+        if (t2 != static_cast<size_t>(tree)) {
+          product *= state.total_nodes[t2]->total;
+        }
       }
     }
     for (Tracker& t : state.trackers[u]) {
-      if (t.dirty) RescanTracker(t, state, rows_touched);
+      if (t.dirty) RescanTracker(t, rows_touched);
       product *= t.max;
     }
     out.max_sensitivity = product;
     if (!product.IsZero()) {
       std::vector<Value> argmax(out.table_attrs.size(), 0);
       for (const Tracker& t : state.trackers[u]) {
-        if (t.node < 0 && t.source < 0) continue;  // unit piece, no values
-        const AttributeSet& attrs = TrackedTable(state, t).attrs();
-        LSENS_CHECK(t.argmax.size() == attrs.size());
-        for (size_t j = 0; j < attrs.size(); ++j) {
+        if (t.target == nullptr) continue;  // unit piece, no values
+        LSENS_CHECK(t.argmax.size() == t.attrs.size());
+        for (size_t j = 0; j < t.attrs.size(); ++j) {
           auto it = std::lower_bound(out.table_attrs.begin(),
-                                     out.table_attrs.end(), attrs[j]);
-          LSENS_CHECK(it != out.table_attrs.end() && *it == attrs[j]);
+                                     out.table_attrs.end(), t.attrs[j]);
+          LSENS_CHECK(it != out.table_attrs.end() && *it == t.attrs[j]);
           argmax[static_cast<size_t>(it - out.table_attrs.begin())] =
               t.argmax[j];
         }
@@ -979,33 +1205,87 @@ SensitivityResult Assemble(RepairState& state, const ConjunctiveQuery& q,
   return result;
 }
 
-// Applies the pending change-log deltas to `state`. Returns false when the
-// state became unrepairable mid-flight (saturation / inconsistent log) —
-// the caller must discard and rebuild. On success `delta_rows` and
-// `rows_touched` receive the work accounting.
+}  // namespace
+
+// One global delta pass over the shared store: every live node is repaired
+// exactly once, no matter how many entries depend on it — the point of
+// canonical-subtree sharing. Stage 1 pulls each source node's pending
+// change-log window and applies the row deltas; stage 2 walks the fold
+// nodes in creation order (children precede parents by construction,
+// across entries too) re-aggregating only keys reachable from a changed
+// child key. Attached trackers and §5.4 running totals are maintained in
+// the same sweep. Nodes that cannot be repaired — unanswerable log, a
+// delta over the global gate, saturation — are marked stale (cascading to
+// dependents) and skipped; the pass itself never aborts.
 //
-// `threads` > 1 shards the repair over the global thread pool (via
-// ParallelApply on `ctx`): change-log entries and affected join-key
-// groups are hash-partitioned into per-worker shards, the pure read-only
-// work (predicate filtering, key projection, group re-aggregation) fans
-// out, and every table mutation and tracker update applies serially in a
-// scheduling-independent order. Deltas below the kShardMinWork gate stay
-// on the serial loops — a single-row update never pays a pool
-// round-trip. Repaired state, results, and all
-// counters are bit-identical to the serial repair at every thread count:
-// per-key adjustment sequences are preserved by the key-hash routing, the
-// re-aggregated sums land in per-group slots applied in sorted order, and
-// rows_touched is a sum of per-group counts, which commutes.
-bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
-                   const Database& db, int threads, ExecContext& ctx,
-                   uint64_t* delta_rows, uint64_t* rows_touched) {
-  // 0. A poisoned table (a saturated count was stored or an adjustment
-  // was inexact) makes repair arithmetic untrustworthy: rebuild instead.
-  for (const SourceState& src : state.sources) {
-    if (src.table.saturated()) return false;
+// `threads` > 1 shards the pass over the global thread pool (via
+// ParallelApply on `ctx`): change-log entries and affected join-key groups
+// are hash-partitioned into per-worker shards, the pure read-only work
+// (predicate filtering, key projection, group re-aggregation) fans out,
+// and every table mutation and tracker update applies serially in a
+// scheduling-independent order, so repaired state, results, and all
+// counters are bit-identical to the serial pass at any thread count.
+// Deltas below the kShardMinWork gate stay on the serial loops — a
+// single-row update never pays a pool round-trip.
+void SensitivityCache::SyncStore(Database& db, int threads,
+                                 ExecContext& ctx) {
+  NodeStore& ns = store_->ns;
+  if (ns.by_sig.empty()) return;
+  WallTimer timer;
+
+  // Live nodes in creation order — a valid dependency order of the DAG.
+  std::vector<SharedNode*> nodes;
+  nodes.reserve(ns.by_sig.size());
+  for (const auto& [sig, node] : ns.by_sig) nodes.push_back(node.get());
+  std::sort(nodes.begin(), nodes.end(),
+            [](const SharedNode* a, const SharedNode* b) {
+              return a->seq < b->seq;
+            });
+  for (SharedNode* node : nodes) node->changed.clear();
+
+  // Pre-pass: poison checks and the global delta gate. The gate compares
+  // the total pending changes across all live sources against the total
+  // pre-delta rows — with a single cached query this is exactly the old
+  // per-entry gate; with many, it bounds the work of the whole pass.
+  size_t total_changes = 0;
+  size_t total_rows = 0;
+  std::vector<SharedNode*> pending;
+  for (SharedNode* node : nodes) {
+    if (node->stale != SharedNode::StaleReason::kNone) continue;
+    if (node->table.saturated()) {
+      MarkStale(node, SharedNode::StaleReason::kSaturated);
+      continue;
+    }
+    if (node->kind != SharedNode::Kind::kSource) continue;
+    const Relation* rel = db.Find(node->relation);
+    if (rel == nullptr) {
+      MarkStale(node, SharedNode::StaleReason::kLog);
+      continue;
+    }
+    const size_t n = rel->NumChangesSince(node->version);
+    if (n == SIZE_MAX) {
+      MarkStale(node, SharedNode::StaleReason::kLog);
+      continue;
+    }
+    total_rows += rel->NumRows();
+    total_changes += n;
+    if (n > 0) pending.push_back(node);
   }
-  for (const NodeState& node : state.nodes) {
-    if (node.out.saturated()) return false;
+  if (pending.empty()) return;
+  // The baseline is the pre-delta size (current rows net of the pending
+  // deltas is unknowable cheaply, but rows+changes bounds it from above),
+  // so delete-heavy streams that shrink — or empty — a relation still
+  // compare the delta against the work the repair will actually do. The
+  // floor of 1 keeps single-row updates repairable at any fraction.
+  const size_t delta_baseline = total_rows + total_changes;
+  const size_t allowed_changes = std::max<size_t>(
+      1, static_cast<size_t>(config_.max_delta_fraction *
+                             static_cast<double>(delta_baseline)));
+  if (total_changes > allowed_changes) {
+    for (SharedNode* node : pending) {
+      MarkStale(node, SharedNode::StaleReason::kLargeDelta);
+    }
+    return;
   }
 
   // One shard per requested thread; 1 collapses every stage to the plain
@@ -1020,133 +1300,122 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
   // only the data, so either outcome yields identical results.
   constexpr size_t kShardMinWork = 32;
 
-  // 1. Sources: apply the row-level deltas, collecting the touched keys.
-  // Sharded path: the change log is partitioned by projected-key hash
-  // (per-key order preserved inside a shard), predicate filtering and key
-  // projection run per shard on the pool, and the Adjust calls apply
+  uint64_t delta_rows = 0;
+  uint64_t rows_touched = 0;
+  uint64_t nodes_patched = 0;
+
+  // Stage 1 — sources: apply the row-level deltas, collecting the touched
+  // keys. Sharded path: the change log is partitioned by projected-key
+  // hash (per-key order preserved inside a shard), predicate filtering and
+  // key projection run per shard on the pool, and the Adjust calls apply
   // serially shard by shard — per-key adjustment sequences (and thus the
   // final table and any underflow poisoning) match the serial path.
   struct ProjectedChange {
     std::vector<Value> key;
     bool insert = true;
   };
-  std::vector<std::vector<std::vector<Value>>> source_changed(
-      state.sources.size());
   std::vector<RowChange> changes;
-  std::vector<Value> key;
   std::vector<std::vector<RowChange>> shard_changes;
   std::vector<std::vector<ProjectedChange>> shard_keys;
-  for (size_t si = 0; si < state.sources.size(); ++si) {
-    SourceState& src = state.sources[si];
-    const Relation* rel = db.Find(src.relation);
-    if (rel == nullptr) return false;
-    const std::vector<Predicate>& preds = q.atom(src.atom_index).predicates;
+  for (SharedNode* src : pending) {
+    const Relation* rel = db.Find(src->relation);
+    LSENS_CHECK(rel != nullptr);  // the pre-pass just found it
     auto filter_project = [&](const RowChange& ch,
                               std::vector<ProjectedChange>* out) {
-      bool pass = true;
-      for (size_t p = 0; p < preds.size() && pass; ++p) {
-        pass = preds[p].Eval(ch.row[src.pred_cols[p]]);
+      for (const auto& [col, pred] : src->preds) {
+        if (!pred.Eval(ch.row[col])) return;
       }
-      if (!pass) return;
       ProjectedChange pc;
       pc.insert = ch.insert;
-      pc.key.reserve(src.keep_cols.size());
-      for (size_t col : src.keep_cols) pc.key.push_back(ch.row[col]);
+      pc.key.reserve(src->keep_cols.size());
+      for (size_t col : src->keep_cols) pc.key.push_back(ch.row[col]);
       out->push_back(std::move(pc));
     };
     auto apply_shard = [&](std::vector<ProjectedChange>& shard) {
       for (ProjectedChange& pc : shard) {
-        if (!src.table.Adjust(pc.key, Count::One(), pc.insert)) return false;
-        source_changed[si].push_back(std::move(pc.key));
+        if (!src->table.Adjust(pc.key, Count::One(), pc.insert)) {
+          return false;
+        }
+        src->changed.push_back(std::move(pc.key));
       }
       return true;
     };
+    bool ok = true;
     if (num_shards > 1 &&
-        rel->NumChangesSince(src.version) > kShardMinWork) {
-      // (An unanswerable log reports SIZE_MAX pending changes and takes
-      // this branch only for CollectChangesShardedSince to fail — the
-      // same false the serial path returns.)
+        rel->NumChangesSince(src->version) > kShardMinWork) {
       shard_changes.assign(num_shards, {});
       shard_keys.assign(num_shards, {});
-      if (!rel->CollectChangesShardedSince(src.version, src.keep_cols,
-                                           num_shards, &shard_changes)) {
-        return false;
-      }
+      LSENS_CHECK(rel->CollectChangesShardedSince(
+          src->version, src->keep_cols, num_shards, &shard_changes));
       ParallelApply(ctx, threads, num_shards, [&](size_t s, ExecContext&) {
         for (const RowChange& ch : shard_changes[s]) {
           filter_project(ch, &shard_keys[s]);
         }
       });
-      for (size_t s = 0; s < num_shards; ++s) {
-        *delta_rows += shard_changes[s].size();
-        if (!apply_shard(shard_keys[s])) return false;
+      for (size_t s = 0; s < num_shards && ok; ++s) {
+        delta_rows += shard_changes[s].size();
+        ok = apply_shard(shard_keys[s]);
       }
     } else {
       changes.clear();
-      if (!rel->CollectChangesSince(src.version, &changes)) return false;
-      *delta_rows += changes.size();
+      LSENS_CHECK(rel->CollectChangesSince(src->version, &changes));
+      delta_rows += changes.size();
       std::vector<ProjectedChange> projected;
       for (const RowChange& ch : changes) filter_project(ch, &projected);
-      if (!apply_shard(projected)) return false;
+      ok = apply_shard(projected);
     }
-    src.version = rel->version();
-    SortUnique(&source_changed[si]);
+    if (!ok) {
+      // Inexact adjustment (saturation / stale log): the table is poisoned
+      // and everything downstream with it. The rest of the pass continues.
+      MarkStale(src, SharedNode::StaleReason::kSaturated);
+      src->changed.clear();
+      continue;
+    }
+    src->version = rel->version();
+    SortUnique(&src->changed);
     // Trackers sitting directly on this S table (single-piece multiplicity
     // components): fold in each changed key's final value.
-    if (!state.source_trackers[si].empty()) {
-      for (const std::vector<Value>& changed : source_changed[si]) {
-        const Count value = src.table.Get(changed);
-        for (const auto& [u, p] : state.source_trackers[si]) {
-          UpdateTracker(state.trackers[u][p], changed, value);
-        }
-      }
+    for (const std::vector<Value>& changed : src->changed) {
+      const Count value = src->table.Get(changed);
+      for (Tracker* t : src->trackers) UpdateTracker(*t, changed, value);
     }
+    if (!src->changed.empty()) ++nodes_patched;
   }
 
-  // 2. Nodes, in evaluation order: collect the affected output keys, then
-  // recompute each from the current (already-repaired) upstream tables.
+  // Stage 2 — fold nodes, in dependency order: collect the affected output
+  // keys, then recompute each from the current (already-repaired) upstream
+  // tables.
   //
   // Group nodes collect groups directly from driver changes and via
   // driver-index lookups from changed input keys, and re-aggregate each
   // group. Join nodes collect, per changed piece key, the existing output
-  // rows matching it (the piece's out index) plus the newly joinable
-  // scope tuples (expansion through the other pieces' indexes), and
-  // recompute each row's count as the product of point lookups.
+  // rows matching it (the piece's out index) plus the newly joinable scope
+  // tuples (expansion through the other pieces' indexes), and recompute
+  // each row's count as the product of point lookups.
   //
   // Either way the recomputation reads only upstream state, so the
   // affected keys — disjoint work — fan out over key-hash shards; the
   // recomputed counts land in per-key slots and are applied (with tracker
   // and tree-total maintenance) serially in sorted key order.
-  std::vector<std::vector<std::vector<Value>>> node_changed(
-      state.nodes.size());
   std::vector<uint32_t> rows;
-  auto table_of = [&](TableRef ref) -> const DynTable& {
-    return ref.source >= 0
-               ? state.sources[static_cast<size_t>(ref.source)].table
-               : state.nodes[static_cast<size_t>(ref.node)].out;
-  };
-  auto changed_of =
-      [&](TableRef ref) -> const std::vector<std::vector<Value>>& {
-    return ref.source >= 0 ? source_changed[static_cast<size_t>(ref.source)]
-                           : node_changed[static_cast<size_t>(ref.node)];
-  };
-  for (size_t ni = 0; ni < state.nodes.size(); ++ni) {
-    NodeState& node = state.nodes[ni];
+  std::vector<Value> key;
+  for (SharedNode* node : nodes) {
+    if (node->kind == SharedNode::Kind::kSource) continue;
+    if (node->stale != SharedNode::StaleReason::kNone) continue;
     std::vector<std::vector<Value>> affected;
-    if (node.kind == NodeState::Kind::kGroup) {
-      const DynTable& driver = table_of(node.driver);
-      for (const std::vector<Value>& changed : changed_of(node.driver)) {
-        Project(changed, node.group_cols, &key);
+    if (node->kind == SharedNode::Kind::kGroup) {
+      const DynTable& driver = node->driver->table;
+      for (const std::vector<Value>& changed : node->driver->changed) {
+        Project(changed, node->group_cols, &key);
         affected.push_back(key);
       }
-      for (const NodeState::Input& input : node.inputs) {
-        for (const std::vector<Value>& changed :
-             node_changed[static_cast<size_t>(input.node)]) {
+      for (const SharedNode::Input& input : node->inputs) {
+        for (const std::vector<Value>& changed : input.node->changed) {
           rows.clear();
           driver.LookupIndex(input.driver_index, changed, &rows);
-          *rows_touched += rows.size();
+          rows_touched += rows.size();
           for (uint32_t r : rows) {
-            Project(driver.RowValues(r), node.group_cols, &key);
+            Project(driver.RowValues(r), node->group_cols, &key);
             affected.push_back(key);
           }
         }
@@ -1154,36 +1423,36 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
     } else {
       std::vector<std::vector<Value>> frontier;
       std::vector<std::vector<Value>> next;
-      for (size_t pi = 0; pi < node.pieces.size(); ++pi) {
-        const NodeState::Piece& piece = node.pieces[pi];
-        const DynTable& pt = table_of(piece.ref);
-        for (const std::vector<Value>& changed : changed_of(piece.ref)) {
+      for (size_t pi = 0; pi < node->pieces.size(); ++pi) {
+        const SharedNode::Piece& piece = node->pieces[pi];
+        const DynTable& pt = piece.ref->table;
+        for (const std::vector<Value>& changed : piece.ref->changed) {
           // Existing output rows built from this piece key (count change
           // or removal).
           rows.clear();
-          node.out.LookupIndex(piece.out_index, changed, &rows);
-          *rows_touched += rows.size();
+          node->table.LookupIndex(piece.out_index, changed, &rows);
+          rows_touched += rows.size();
           for (uint32_t r : rows) {
-            std::span<const Value> row = node.out.RowValues(r);
+            std::span<const Value> row = node->table.RowValues(r);
             affected.emplace_back(row.begin(), row.end());
           }
           // A key no longer present cannot create new join rows.
           if (pt.FindRow(changed) == DynTable::kNoRow) continue;
-          std::vector<Value> seed(node.out.attrs().size(), 0);
+          std::vector<Value> seed(node->table.attrs().size(), 0);
           for (size_t c = 0; c < piece.scope_cols.size(); ++c) {
             seed[static_cast<size_t>(piece.scope_cols[c])] = changed[c];
           }
           frontier.clear();
           frontier.push_back(std::move(seed));
-          for (const NodeState::Expand& e : piece.expands) {
-            const NodeState::Piece& other = node.pieces[e.piece];
-            const DynTable& ot = table_of(other.ref);
+          for (const SharedNode::Expand& e : piece.expands) {
+            const SharedNode::Piece& other = node->pieces[e.piece];
+            const DynTable& ot = other.ref->table;
             next.clear();
             for (const std::vector<Value>& partial : frontier) {
               Project(partial, e.probe_scope_cols, &key);
               rows.clear();
               ot.LookupIndex(e.index, key, &rows);
-              *rows_touched += rows.size();
+              rows_touched += rows.size();
               for (uint32_t r : rows) {
                 std::span<const Value> prow = ot.RowValues(r);
                 std::vector<Value> extended = partial;
@@ -1204,6 +1473,7 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
       }
     }
     SortUnique(&affected);
+    if (affected.empty()) continue;
     const size_t node_shards =
         num_shards > 1 && affected.size() > kShardMinWork ? num_shards : 1;
     std::vector<size_t> shard_of;
@@ -1221,20 +1491,19 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
       uint64_t touched = 0;
       for (size_t g = 0; g < affected.size(); ++g) {
         if (node_shards > 1 && shard_of[g] != s) continue;
-        if (node.kind == NodeState::Kind::kGroup) {
-          const DynTable& driver = table_of(node.driver);
+        if (node->kind == SharedNode::Kind::kGroup) {
+          const DynTable& driver = node->driver->table;
           group_rows.clear();
-          driver.LookupIndex(node.driver_group_index, affected[g],
+          driver.LookupIndex(node->driver_group_index, affected[g],
                              &group_rows);
           touched += group_rows.size() + 1;
           Count sum = Count::Zero();
           for (uint32_t r : group_rows) {
             std::span<const Value> row = driver.RowValues(r);
             Count term = driver.RowCount(r);
-            for (const NodeState::Input& input : node.inputs) {
+            for (const SharedNode::Input& input : node->inputs) {
               Project(row, input.driver_cols, &lookup_key);
-              term *= state.nodes[static_cast<size_t>(input.node)].out.Get(
-                  lookup_key);
+              term *= input.node->table.Get(lookup_key);
               if (term.IsZero()) break;
             }
             sum += term;
@@ -1243,9 +1512,9 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
         } else {
           touched += 1;
           Count product = Count::One();
-          for (const NodeState::Piece& piece : node.pieces) {
+          for (const SharedNode::Piece& piece : node->pieces) {
             Project(affected[g], piece.scope_cols, &lookup_key);
-            product *= table_of(piece.ref).Get(lookup_key);
+            product *= piece.ref->table.Get(lookup_key);
             if (product.IsZero()) break;
           }
           sums[g] = product;
@@ -1254,53 +1523,45 @@ bool RepairInPlace(RepairState& state, const ConjunctiveQuery& q,
       shard_touched[s] += touched;
     });
     for (size_t s = 0; s < node_shards; ++s) {
-      *rows_touched += shard_touched[s];
+      rows_touched += shard_touched[s];
     }
-    // The tree whose running total this node's output feeds, if any.
-    int total_tree = -1;
-    for (size_t t = 0; t < state.total_nodes.size(); ++t) {
-      if (state.total_nodes[t] == static_cast<int>(ni)) {
-        total_tree = static_cast<int>(t);
-        break;
+    bool ok = true;
+    for (size_t g = 0; g < affected.size() && ok; ++g) {
+      Count old = node->table.Set(affected[g], sums[g]);
+      if (old == sums[g]) continue;
+      node->changed.push_back(affected[g]);
+      for (Tracker* t : node->trackers) {
+        UpdateTracker(*t, affected[g], sums[g]);
+      }
+      if (node->track_total) {
+        // Exact subtract-old/add-new; any saturation en route makes the
+        // running total untrustworthy — mark stale and let a dependent
+        // recompute reload the node with a fresh total.
+        if (node->total.IsSaturated() || old.IsSaturated() ||
+            sums[g].IsSaturated() || node->total < old) {
+          ok = false;
+          break;
+        }
+        node->total = node->total.SaturatingSub(old) + sums[g];
+        if (node->total.IsSaturated()) ok = false;
       }
     }
-    for (size_t g = 0; g < affected.size(); ++g) {
-      Count old = node.out.Set(affected[g], sums[g]);
-      if (old != sums[g]) {
-        node_changed[ni].push_back(affected[g]);
-        for (const auto& [u, p] : state.node_trackers[ni]) {
-          UpdateTracker(state.trackers[u][p], affected[g], sums[g]);
-        }
-        if (total_tree >= 0) {
-          // Exact subtract-old/add-new; any saturation en route makes the
-          // running total untrustworthy — rebuild instead.
-          Count& total = state.tree_totals[static_cast<size_t>(total_tree)];
-          if (total.IsSaturated() || old.IsSaturated() ||
-              sums[g].IsSaturated() || total < old) {
-            return false;
-          }
-          total = total.SaturatingSub(old) + sums[g];
-          if (total.IsSaturated()) return false;
-        }
-      }
+    if (ok && node->table.saturated()) ok = false;
+    if (!ok) {
+      MarkStale(node, SharedNode::StaleReason::kSaturated);
+      node->changed.clear();
+      continue;
     }
+    if (!node->changed.empty()) ++nodes_patched;
   }
-  return true;
-}
 
-// Heap footprint of an entry's repairable state: the DynTables (row
-// storage + flat indexes) dominate; tracker argmax rows and bookkeeping
-// vectors are noise and not counted. Feeds the byte-budget spill policy.
-size_t StateMemoryBytes(const RepairState& state) {
-  size_t bytes = 0;
-  for (const SourceState& src : state.sources) {
-    bytes += src.table.MemoryBytes();
-  }
-  for (const NodeState& node : state.nodes) bytes += node.out.MemoryBytes();
-  return bytes;
+  for (SharedNode* node : nodes) RefreshNodeBytes(*node, stats_);
+  stats_.delta_rows += delta_rows;
+  stats_.repair_rows += rows_touched;
+  stats_.node_repairs += nodes_patched;
+  ctx.Record("cache.node_repair", delta_rows, rows_touched, 0,
+             timer.ElapsedSeconds());
 }
-
-}  // namespace
 
 StatusOr<SensitivityResult> SensitivityCache::Compute(
     const ConjunctiveQuery& q, Database& db,
@@ -1335,6 +1596,16 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
     return versions;
   };
 
+  // The global delta pass runs at most once per Compute, and only on paths
+  // that need current store state (never on a pure version hit).
+  bool synced = false;
+  auto sync = [&] {
+    if (!synced) {
+      SyncStore(db, options.join.threads, ctx);
+      synced = true;
+    }
+  };
+
   if (entry != nullptr) {
     entry->last_used = ++tick_;
     std::optional<std::vector<uint64_t>> versions =
@@ -1343,79 +1614,95 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
     const bool constant =
         entry->state != nullptr &&
         entry->state->mode == RepairState::Mode::kConstant;
+    // Touch the entry's shared nodes so the spill LRU tracks use by any
+    // dependent entry, hits included.
+    if (entry->state != nullptr) {
+      for (const auto& node : entry->state->sources) {
+        node->last_used = entry->last_used;
+      }
+      for (const auto& node : entry->state->nodes) {
+        node->last_used = entry->last_used;
+      }
+    }
     if (versions.has_value() && (constant || *versions == entry->versions)) {
       ++stats_.hits;
       ctx.Record("cache.hit", 0, 0, 0, timer.ElapsedSeconds());
       return entry->result;
     }
     if (versions.has_value() && entry->state != nullptr) {
-      // Delta-size / staleness precheck before touching any state.
-      size_t total_changes = 0;
-      size_t total_rows = 0;
-      bool stale = false;
-      for (const SourceState& src : entry->state->sources) {
-        const Relation* rel = db.Find(src.relation);
-        LSENS_CHECK(rel != nullptr);  // current_versions found it
-        size_t n = rel->NumChangesSince(src.version);
-        if (n == SIZE_MAX) {
-          stale = true;
-          break;
+      // This entry's own pending delta, measured before the pass: zero
+      // means some earlier Compute's pass already repaired every node this
+      // entry depends on, and only the per-entry assembly remains — the
+      // cross-query sharing payoff.
+      uint64_t entry_pending = 0;
+      for (const auto& src : entry->state->sources) {
+        if (src->stale != SharedNode::StaleReason::kNone) {
+          entry_pending = 1;  // falls back below; exact count irrelevant
+          continue;
         }
-        total_changes += n;
-        total_rows += rel->NumRows();
+        const Relation* rel = db.Find(src->relation);
+        if (rel == nullptr) continue;
+        const size_t n = rel->NumChangesSince(src->version);
+        if (n != SIZE_MAX) entry_pending += n;
       }
-      // Delta-size gate. The baseline is the pre-delta size (current rows
-      // net of the pending deltas is unknowable cheaply, but rows+changes
-      // bounds it from above), so delete-heavy streams that shrink — or
-      // empty — a relation still compare the delta against the work the
-      // repair will actually do, instead of dividing by the shrunken (or
-      // zero) current size. The floor of 1 keeps single-row updates
-      // repairable at any fraction.
-      const size_t delta_baseline = total_rows + total_changes;
-      const size_t allowed_changes = std::max<size_t>(
-          1, static_cast<size_t>(config_.max_delta_fraction *
-                                 static_cast<double>(delta_baseline)));
-      if (stale) {
-        ++stats_.fallback_stale;
-      } else if (total_changes > allowed_changes) {
+      sync();
+      bool spilled = false;
+      bool large = false;
+      bool stale = false;
+      auto scan = [&](const std::shared_ptr<SharedNode>& node) {
+        switch (node->stale) {
+          case SharedNode::StaleReason::kNone:
+            break;
+          case SharedNode::StaleReason::kSpilled:
+            spilled = true;
+            break;
+          case SharedNode::StaleReason::kLargeDelta:
+            large = true;
+            break;
+          default:
+            stale = true;
+        }
+      };
+      for (const auto& node : entry->state->sources) scan(node);
+      for (const auto& node : entry->state->nodes) scan(node);
+      if (!spilled && !large && !stale) {
+        uint64_t rows_touched = 0;
+        entry->result = Assemble(*entry->state, q, options, &rows_touched);
+        stats_.repair_rows += rows_touched;
+        entry->versions = *std::move(versions);
+        if (entry_pending > 0) {
+          ++stats_.repairs;
+          ctx.Record("cache.repair", entry_pending, rows_touched, 0,
+                     timer.ElapsedSeconds());
+        } else {
+          ++stats_.shared_assemblies;
+          ctx.Record("cache.shared_assembly", 0, rows_touched, 0,
+                     timer.ElapsedSeconds());
+        }
+        EnforceStateBudget(ctx);
+        return entry->result;
+      }
+      // Something this entry depends on is stale: full recompute below,
+      // classified by the most telling reason.
+      if (spilled) {
+        ++stats_.fallback_spilled;
+      } else if (large) {
         ++stats_.fallback_large_delta;
       } else {
-        uint64_t delta_rows = 0;
-        uint64_t rows_touched = 0;
-        if (RepairInPlace(*entry->state, q, db, options.join.threads, ctx,
-                          &delta_rows, &rows_touched)) {
-          entry->result =
-              Assemble(*entry->state, q, options, &rows_touched);
-          entry->versions = *std::move(versions);
-          ++stats_.repairs;
-          stats_.delta_rows += delta_rows;
-          stats_.repair_rows += rows_touched;
-          // Repair grows/shrinks the tables: refresh the byte accounting.
-          stats_.state_bytes -= entry->state_bytes;
-          entry->state_bytes = StateMemoryBytes(*entry->state);
-          stats_.state_bytes += entry->state_bytes;
-          ctx.Record("cache.repair", delta_rows, rows_touched, 0,
-                     timer.ElapsedSeconds());
-          EnforceStateBudget(ctx);
-          return entry->result;
-        }
-        // State poisoned mid-repair (saturation / inconsistent log):
-        // discard and rebuild below.
-        stats_.state_bytes -= entry->state_bytes;
-        entry->state_bytes = 0;
-        entry->state.reset();
         ++stats_.fallback_stale;
       }
     } else if (versions.has_value()) {
-      ++(entry->spilled ? stats_.fallback_spilled
-                        : stats_.fallback_unsupported);
+      ++stats_.fallback_unsupported;
     }
   }
 
   // Full compute (first sight, or fallback), capturing repairable state
-  // when the plan supports it.
+  // when the plan supports it. The store syncs *before* the engine runs,
+  // so every non-stale shared node is current when BuildState attaches to
+  // it against the fresh capture.
   Plan plan = MakePlan(q, options);
   std::unique_ptr<RepairState> state;
+  uint64_t build_rows = 0;
   auto run_full = [&]() -> StatusOr<SensitivityResult> {
     if (!plan.supported || plan.mode == RepairState::Mode::kConstant) {
       auto r = ComputeLocalSensitivity(q, db, options);
@@ -1424,6 +1711,7 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
       }
       return r;
     }
+    sync();
     TSensCapture capture;
     TSensComputeOptions run = options;
     run.capture = &capture;
@@ -1432,17 +1720,17 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
             ? TSensPath(q, plan.order, db, run)
             : TSensOverGhd(q, *plan.ghd, db, run);
     if (r.ok()) {
-      state = BuildState(q, plan, std::move(capture), options.skip_atoms);
-      // Seed the source versions and install change logs so the next call
-      // can pull deltas.
-      for (SourceState& src : state->sources) {
-        Relation* rel = db.Find(src.relation);
+      // Install change logs first so the acquired sources start from a
+      // loggable version.
+      for (const Atom& atom : q.atoms()) {
+        Relation* rel = db.Find(atom.relation);
         LSENS_CHECK(rel != nullptr);
         if (!rel->change_log_enabled()) {
           rel->EnableChangeLog(config_.changelog_capacity);
         }
-        src.version = rel->version();
       }
+      state = BuildState(q, plan, std::move(capture), options.skip_atoms, db,
+                         store_->ns, stats_, ++tick_, &build_rows);
     }
     return r;
   };
@@ -1466,7 +1754,6 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
       for (size_t i = 1; i + 1 < entries_.size(); ++i) {
         if (entries_[i]->last_used < entries_[evict]->last_used) evict = i;
       }
-      stats_.state_bytes -= entries_[evict]->state_bytes;
       entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(evict));
       entry = entries_.back().get();
     }
@@ -1477,13 +1764,10 @@ StatusOr<SensitivityResult> SensitivityCache::Compute(
   entry->relations = std::move(relations);
   entry->versions = *std::move(versions);
   entry->result = *std::move(computed);
-  stats_.state_bytes -= entry->state_bytes;  // large-delta path kept state
-  entry->state = std::move(state);
-  entry->spilled = false;
-  entry->state_bytes =
-      entry->state == nullptr ? 0 : StateMemoryBytes(*entry->state);
-  stats_.state_bytes += entry->state_bytes;
+  entry->state = std::move(state);  // old state's nodes released below
   entry->unsupported_reason = plan.supported ? "" : plan.reason;
+  stats_.repair_rows += build_rows;
+  SweepStore();
 
   // Cross-check at capture time: the assembled-from-trackers result must
   // equal the engine's, so every later repair starts from verified state.

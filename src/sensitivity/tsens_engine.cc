@@ -357,6 +357,12 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
     }
   }
   if (options.capture != nullptr) {
+    options.capture->s_sig.clear();
+    options.capture->s_sig.reserve(s.size());
+    for (size_t a = 0; a < s.size(); ++a) {
+      options.capture->s_sig.push_back(CanonicalSourceSignature(
+          q.atom(static_cast<int>(a)), s[a].attrs()));
+    }
     options.capture->s = std::move(s);
     options.capture->bot = std::move(bot_full);
     options.capture->top = std::move(top_full);

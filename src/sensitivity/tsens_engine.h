@@ -30,6 +30,14 @@ namespace lsens {
 // multiplicity-table components. TSensPath leaves these empty.
 struct TSensCapture {
   std::vector<CountedRelation> s;
+
+  // Canonical subtree tag per s[i] (query/conjunctive_query.h:
+  // CanonicalSourceSignature over the producing atom and its keep set),
+  // filled by both engines alongside `s`. The cross-query plan cache keys
+  // shared S_a tables by these; BuildState cross-checks them against its
+  // own derivation so engine and cache can never disagree silently about
+  // what a captured table is.
+  std::vector<std::string> s_sig;
   std::vector<std::optional<CountedRelation>> bot;
   std::vector<std::optional<CountedRelation>> top;
 

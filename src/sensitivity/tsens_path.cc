@@ -213,6 +213,12 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
     }
   }
   if (options.capture != nullptr) {
+    options.capture->s_sig.clear();
+    options.capture->s_sig.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      options.capture->s_sig.push_back(
+          CanonicalSourceSignature(q.atom(order[i]), keeps[i]));
+    }
     options.capture->s = std::move(s);
     options.capture->top.clear();
     options.capture->bot.clear();

@@ -1,5 +1,6 @@
 #include "storage/csv.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <fstream>
@@ -116,7 +117,12 @@ Status LoadCsvText(Database& db, const std::string& relation,
   }
   Relation* rel = db.AddRelation(relation, header);
 
-  std::vector<Value> row(header.size());
+  // Rows accumulate row-major into a flat buffer and flush in bulk via
+  // AppendRows — one reserve and one contiguous copy per batch instead of
+  // a per-row append. The batch size bounds the loader's extra memory.
+  constexpr size_t kFlushValues = size_t{1} << 16;
+  std::vector<Value> pending;
+  pending.reserve(std::min(kFlushValues, size_t{1} << 12));
   std::vector<std::string> cells;
   size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -137,13 +143,17 @@ Status LoadCsvText(Database& db, const std::string& relation,
               "line " + std::to_string(line_no) + ": integer literal '" +
               cells[c] + "' out of int64 range");
         }
-        row[c] = static_cast<Value>(parsed);
+        pending.push_back(static_cast<Value>(parsed));
       } else {
-        row[c] = db.dict().Intern(cells[c]);
+        pending.push_back(db.dict().Intern(cells[c]));
       }
     }
-    rel->AppendRow(row);
+    if (pending.size() >= kFlushValues) {
+      rel->AppendRows(pending);
+      pending.clear();
+    }
   }
+  rel->AppendRows(pending);
   return Status::OK();
 }
 

@@ -5,7 +5,7 @@
 namespace lsens {
 
 Value Dictionary::Intern(std::string_view s) {
-  auto it = values_.find(std::string(s));
+  auto it = values_.find(s);
   if (it != values_.end()) return it->second;
   Value v = kBase + static_cast<Value>(strings_.size());
   strings_.emplace_back(s);
@@ -14,7 +14,7 @@ Value Dictionary::Intern(std::string_view s) {
 }
 
 Value Dictionary::Lookup(std::string_view s) const {
-  auto it = values_.find(std::string(s));
+  auto it = values_.find(s);
   if (it == values_.end()) return -1;
   return it->second;
 }

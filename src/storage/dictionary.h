@@ -1,6 +1,7 @@
 #ifndef LSENS_STORAGE_DICTIONARY_H_
 #define LSENS_STORAGE_DICTIONARY_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -41,8 +42,23 @@ class Dictionary {
   size_t size() const { return strings_.size(); }
 
  private:
+  // Heterogeneous hash/eq so Intern/Lookup probe with the string_view
+  // directly instead of allocating a temporary std::string per call.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
   std::vector<std::string> strings_;
-  std::unordered_map<std::string, Value> values_;
+  std::unordered_map<std::string, Value, StringHash, StringEq> values_;
 };
 
 }  // namespace lsens

@@ -47,6 +47,21 @@ void Relation::SwapRemoveRow(size_t i) {
   ++version_;
 }
 
+void Relation::AppendRows(std::span<const Value> rows_flat) {
+  const size_t k = arity();
+  LSENS_CHECK(rows_flat.size() % k == 0);
+  const size_t rows = rows_flat.size() / k;
+  if (rows == 0) return;
+  data_.reserve(data_.size() + rows_flat.size());
+  if (log_enabled_) {
+    for (size_t i = 0; i < rows; ++i) {
+      LogChange(/*insert=*/true, rows_flat.subspan(i * k, k));
+    }
+  }
+  data_.insert(data_.end(), rows_flat.begin(), rows_flat.end());
+  version_ += rows;
+}
+
 Status Relation::ValidateDelta(std::span<const std::vector<Value>> inserts,
                                std::span<const size_t> delete_rows,
                                size_t num_rows) const {

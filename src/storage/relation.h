@@ -63,6 +63,12 @@ class Relation {
     AppendRow(std::span<const Value>(row.begin(), row.size()));
   }
 
+  // Bulk append of `rows_flat.size() / arity()` rows stored row-major
+  // (rows_flat.size() must be a multiple of the arity). One reserve and
+  // one contiguous copy; versioning and the changelog observe the same
+  // per-row granularity as the equivalent AppendRow loop.
+  void AppendRows(std::span<const Value> rows_flat);
+
   void Reserve(size_t rows) { data_.reserve(rows * arity()); }
   // Drops every row. Bumps the version and disables the changelog (the
   // delta would be the whole relation); re-enable to resume logging.

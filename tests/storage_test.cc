@@ -57,6 +57,30 @@ TEST(DictionaryTest, RoundTrips) {
   EXPECT_FALSE(d.ContainsValue(999));
 }
 
+TEST(DictionaryTest, HeterogeneousLookupUsesViewsDirectly) {
+  // Intern/Lookup take string_views that are not null-terminated and may
+  // be slices of a larger buffer; the map probes with the view itself
+  // (transparent hash/eq), so the slice's bounds must be respected
+  // exactly — no C-string assumptions, no temporary std::string.
+  Dictionary d;
+  const std::string buffer = "alphabetagamma";
+  const std::string_view alpha = std::string_view(buffer).substr(0, 5);
+  const std::string_view beta = std::string_view(buffer).substr(5, 4);
+  Value va = d.Intern(alpha);
+  Value vb = d.Intern(beta);
+  EXPECT_NE(va, vb);
+  EXPECT_EQ(d.Lookup(std::string_view(buffer).substr(0, 5)), va);
+  EXPECT_EQ(d.Lookup("beta"), vb);
+  EXPECT_EQ(d.Lookup(std::string_view(buffer)), -1);
+  EXPECT_EQ(d.String(va), "alpha");
+  // Embedded NULs are part of the key, not terminators.
+  const std::string_view with_nul("a\0b", 3);
+  Value vn = d.Intern(with_nul);
+  EXPECT_EQ(d.Lookup(with_nul), vn);
+  EXPECT_EQ(d.Lookup(std::string_view("a", 1)), -1);
+  EXPECT_EQ(d.String(vn), std::string("a\0b", 3));
+}
+
 TEST(DictionaryTest, CodesNeverCollideWithOrdinaryIntegers) {
   Dictionary d;
   Value code = d.Intern("first");
@@ -80,6 +104,32 @@ TEST(RelationTest, AppendAndAccess) {
   EXPECT_EQ(row[0], 3);
   EXPECT_EQ(r.ColumnIndex("B"), 1);
   EXPECT_EQ(r.ColumnIndex("Z"), -1);
+}
+
+TEST(RelationTest, AppendRowsBulkMatchesPerRowAppend) {
+  Relation bulk("R", {"A", "B"});
+  Relation loop("R", {"A", "B"});
+  bulk.EnableChangeLog(16);
+  loop.EnableChangeLog(16);
+  const std::vector<Value> flat = {1, 2, 3, 4, 5, 6};
+  bulk.AppendRows(flat);
+  for (size_t i = 0; i < flat.size(); i += 2) {
+    loop.AppendRow(std::span<const Value>(flat.data() + i, 2));
+  }
+  EXPECT_TRUE(bulk.IdenticalTo(loop));
+  // Versioning and the changelog observe per-row granularity, so a cache
+  // holding a pre-append version can still repair across the bulk load.
+  EXPECT_EQ(bulk.version(), loop.version());
+  EXPECT_EQ(bulk.version(), 3u);
+  std::vector<RowChange> changes;
+  ASSERT_TRUE(bulk.CollectChangesSince(1, &changes));
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_TRUE(changes[0].insert);
+  EXPECT_EQ(changes[0].row, (std::vector<Value>{3, 4}));
+  EXPECT_EQ(changes[1].row, (std::vector<Value>{5, 6}));
+  // Empty bulk append is a no-op, version included.
+  bulk.AppendRows({});
+  EXPECT_EQ(bulk.version(), 3u);
 }
 
 TEST(RelationTest, SwapRemove) {
