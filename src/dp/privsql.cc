@@ -130,4 +130,47 @@ StatusOr<DpRunResult> RunPrivSql(const ConjunctiveQuery& q, const Database& db,
   return out;
 }
 
+PrivSqlBudget::PrivSqlBudget(double epsilon_total) : total_(epsilon_total) {
+  LSENS_CHECK_MSG(epsilon_total >= 0.0, "epsilon budget must be >= 0");
+}
+
+double PrivSqlBudget::spent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spent_;
+}
+
+double PrivSqlBudget::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - spent_;
+}
+
+bool PrivSqlBudget::TryCharge(double epsilon) {
+  if (epsilon <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spent_ + epsilon > total_ + 1e-12) return false;
+  spent_ += epsilon;
+  return true;
+}
+
+void PrivSqlBudget::Refund(double epsilon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spent_ = std::max(0.0, spent_ - epsilon);
+}
+
+StatusOr<DpRunResult> ServePrivSql(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   const PrivSqlPolicy& policy,
+                                   const PrivSqlOptions& options,
+                                   PrivSqlBudget& budget) {
+  if (!budget.TryCharge(options.epsilon)) {
+    return Status::Unsupported(
+        "privsql budget exhausted: epsilon " +
+        std::to_string(options.epsilon) + " does not fit remaining " +
+        std::to_string(budget.remaining()));
+  }
+  StatusOr<DpRunResult> result = RunPrivSql(q, db, policy, options);
+  if (!result.ok()) budget.Refund(options.epsilon);
+  return result;
+}
+
 }  // namespace lsens

@@ -2,6 +2,7 @@
 #define LSENS_DP_PRIVSQL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -50,6 +51,47 @@ struct PrivSqlOptions {
 StatusOr<DpRunResult> RunPrivSql(const ConjunctiveQuery& q, const Database& db,
                                  const PrivSqlPolicy& policy,
                                  const PrivSqlOptions& options);
+
+// --- Serving-layer budget accounting ---------------------------------------
+
+// A deployment-wide epsilon budget shared by concurrent serving sessions.
+// Sequential composition: every released answer debits its epsilon; once
+// the budget cannot cover a request, the request is refused rather than
+// partially charged. All methods are thread-safe; TryCharge debits the full
+// amount atomically or not at all.
+class PrivSqlBudget {
+ public:
+  explicit PrivSqlBudget(double epsilon_total);
+
+  double total() const { return total_; }
+  double spent() const;
+  double remaining() const;
+
+  // Debits `epsilon` if it fits in the remaining budget (within a 1e-12
+  // slack for accumulated float error); false leaves the budget untouched.
+  // Non-positive epsilon is never chargeable.
+  bool TryCharge(double epsilon);
+
+  // Returns a charge whose run failed before releasing anything (never
+  // refund a released answer). Clamped so spent() stays >= 0.
+  void Refund(double epsilon);
+
+ private:
+  const double total_;
+  mutable std::mutex mu_;
+  double spent_ = 0.0;  // guarded by mu_
+};
+
+// Budget-tracked serving entry point: charges options.epsilon against
+// `budget` before running (Unsupported "privsql budget exhausted" without
+// touching the data when it does not fit), answers via RunPrivSql, and
+// refunds the charge if the run fails — a failed run released nothing.
+// Readers serving from an epoch snapshot pass the pinned epoch's database.
+StatusOr<DpRunResult> ServePrivSql(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   const PrivSqlPolicy& policy,
+                                   const PrivSqlOptions& options,
+                                   PrivSqlBudget& budget);
 
 }  // namespace lsens
 

@@ -1563,6 +1563,29 @@ void SensitivityCache::SyncStore(Database& db, int threads,
              timer.ElapsedSeconds());
 }
 
+bool SensitivityCache::Peek(const ConjunctiveQuery& q, const Database& db,
+                            const TSensComputeOptions& options_in,
+                            SensitivityResult* out) const {
+  // Match Compute's keying: the capture hook never participates.
+  TSensComputeOptions options = options_in;
+  options.capture = nullptr;
+  const std::string key = Fingerprint(q, options);
+  for (const auto& e : entries_) {
+    if (e->key != key) continue;
+    const bool constant =
+        e->state != nullptr && e->state->mode == RepairState::Mode::kConstant;
+    if (!constant) {
+      for (size_t i = 0; i < e->relations.size(); ++i) {
+        const Relation* rel = db.Find(e->relations[i]);
+        if (rel == nullptr || rel->version() != e->versions[i]) return false;
+      }
+    }
+    if (out != nullptr) *out = e->result;
+    return true;
+  }
+  return false;
+}
+
 StatusOr<SensitivityResult> SensitivityCache::Compute(
     const ConjunctiveQuery& q, Database& db,
     const TSensComputeOptions& options_in) {

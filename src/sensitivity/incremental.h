@@ -135,6 +135,17 @@ class SensitivityCache {
   StatusOr<SensitivityResult> Compute(const ConjunctiveQuery& q, Database& db,
                                       const TSensComputeOptions& options = {});
 
+  // Epoch-style lookup: true iff a memoized result for (q, options) is
+  // current at `db`'s relation versions, copied into *out (which may be
+  // null to probe only). Touches nothing — no LRU tick, no change-log
+  // install, no repair, no stats — so it is safe wherever concurrent const
+  // reads are (the serving layer assembles warm per-epoch result maps from
+  // it after the writer's repair pass). A version mismatch returns false
+  // rather than repairing; Compute is the mutating path.
+  bool Peek(const ConjunctiveQuery& q, const Database& db,
+            const TSensComputeOptions& options,
+            SensitivityResult* out = nullptr) const;
+
   const SensitivityCacheStats& stats() const { return stats_; }
   void ResetStats() {
     uint64_t nodes = stats_.shared_nodes;

@@ -19,6 +19,14 @@ Database Database::Clone() const {
   return out;
 }
 
+Database Database::CloneSnapshot() const {
+  Database out = Clone();
+  for (const auto& name : out.names_) {
+    out.relations_.find(name)->second->DisableChangeLog();
+  }
+  return out;
+}
+
 Relation* Database::AddRelation(std::string name,
                                 std::vector<std::string> column_names) {
   LSENS_CHECK_MSG(relations_.find(name) == relations_.end(),
@@ -87,6 +95,21 @@ size_t Database::TotalRows() const {
   size_t total = 0;
   for (const auto& [name, rel] : relations_) total += rel->NumRows();
   return total;
+}
+
+size_t Database::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel->MemoryBytes();
+  return total;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Database::VersionVector() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(names_.size());
+  for (const auto& name : names_) {
+    out.emplace_back(name, relations_.find(name)->second->version());
+  }
+  return out;
 }
 
 }  // namespace lsens

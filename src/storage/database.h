@@ -41,6 +41,12 @@ class Database {
 
   Database Clone() const;
 
+  // Deep copy for an immutable epoch snapshot: contents and version
+  // counters are preserved (so the snapshot's VersionVector still names the
+  // epoch it was taken at), but change logs are dropped — a snapshot never
+  // mutates, and the copied log would only pin memory per epoch.
+  Database CloneSnapshot() const;
+
   // Adds an empty relation; CHECK-fails if the name already exists.
   Relation* AddRelation(std::string name,
                         std::vector<std::string> column_names);
@@ -67,6 +73,15 @@ class Database {
   StatusOr<uint64_t> VersionOf(const std::string& relation) const;
 
   size_t TotalRows() const;
+
+  // Bytes held by every relation's rows and change logs (see
+  // Relation::MemoryBytes); the serving layer's epoch accounting.
+  size_t MemoryBytes() const;
+
+  // Every relation's (name, version) in insertion order — the identity of
+  // the database state an epoch snapshot captures. Two databases with equal
+  // names whose version vectors match have seen the same mutation counts.
+  std::vector<std::pair<std::string, uint64_t>> VersionVector() const;
 
   AttributeCatalog& attrs() { return attrs_; }
   const AttributeCatalog& attrs() const { return attrs_; }

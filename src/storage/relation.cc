@@ -110,6 +110,22 @@ void Relation::EnableChangeLog(size_t capacity) {
   log_base_version_ = version_;
 }
 
+void Relation::DisableChangeLog() {
+  log_enabled_ = false;
+  log_.clear();
+  log_.shrink_to_fit();
+  log_capacity_ = 0;
+  log_base_version_ = version_;
+}
+
+size_t Relation::MemoryBytes() const {
+  size_t bytes = data_.capacity() * sizeof(Value);
+  for (const RowChange& change : log_) {
+    bytes += sizeof(RowChange) + change.row.capacity() * sizeof(Value);
+  }
+  return bytes;
+}
+
 void Relation::LogChange(bool insert, std::span<const Value> row) {
   if (log_.size() == log_capacity_) {
     log_.pop_front();

@@ -108,6 +108,15 @@ class Relation {
   void EnableChangeLog(size_t capacity);
   bool change_log_enabled() const { return log_enabled_; }
 
+  // Stops logging and drops the retained entries (version() is preserved).
+  // Immutable snapshot clones use this: a snapshot never mutates, so its
+  // copied log would only pin memory.
+  void DisableChangeLog();
+
+  // Bytes held by row storage plus the retained change-log entries, for
+  // epoch/eviction accounting (same spirit as DynTable::MemoryBytes).
+  size_t MemoryBytes() const;
+
   // Appends the changes that lead from version `since` to version() onto
   // `out`. Returns false when the log cannot answer — logging disabled, a
   // non-loggable mutation (Clear) intervened, or `since` predates the

@@ -689,58 +689,53 @@ TEST(SensitivityCacheTest, RecordsExecContextOps) {
   EXPECT_GT(ctx.FindStats("cache.repair")->rows_in, 0u);
 }
 
+// Peek is the epoch-aware read-only probe the serving layer uses: it hits
+// only while the cached entry's relation versions match the database
+// exactly, and never mutates cache state (no repair, no LRU touch, no
+// stats).
+TEST(SensitivityCacheTest, PeekHitsOnlyAtMatchingVersions) {
+  PaperExample ex = MakeFigure3Example();
+  SensitivityCache cache;
+  EXPECT_FALSE(cache.Peek(ex.query, ex.db, {}));  // never computed
+
+  auto computed = cache.Compute(ex.query, ex.db);
+  ASSERT_TRUE(computed.ok());
+  SensitivityResult peeked;
+  ASSERT_TRUE(cache.Peek(ex.query, ex.db, {}, &peeked));
+  ExpectResultsIdentical(*computed, peeked, "peek after compute");
+  EXPECT_TRUE(cache.Peek(ex.query, ex.db, {}));  // out is optional
+
+  // Execution knobs are excluded from the fingerprint: a different thread
+  // count still hits.
+  TSensComputeOptions threaded;
+  threaded.join.threads = 8;
+  EXPECT_TRUE(cache.Peek(ex.query, ex.db, threaded));
+
+  // Any version drift makes the entry stale for Peek — it does not repair.
+  const uint64_t hits_before = cache.stats().hits;
+  ex.db.Find("R3")->AppendRow({1, 1});
+  EXPECT_FALSE(cache.Peek(ex.query, ex.db, {}));
+  EXPECT_EQ(cache.stats().hits, hits_before);  // Peek never touched stats
+  EXPECT_EQ(cache.stats().repairs, 0u);
+
+  // Compute repairs the entry; Peek hits again at the new versions.
+  auto repaired = cache.Compute(ex.query, ex.db);
+  ASSERT_TRUE(repaired.ok());
+  ASSERT_TRUE(cache.Peek(ex.query, ex.db, {}, &peeked));
+  ExpectResultsIdentical(*repaired, peeked, "peek after repair");
+}
+
 // --- streaming differential suite ---------------------------------------
 
 // Applies one randomized batch (1-3 inserts/deletes) to a random relation
 // of the query, mixing the direct mutators and the batched ApplyDelta API.
+// The generator itself is the shared seeded-stream helper in test_util, so
+// this suite, plan_cache_test, and serving_test replay the same workload
+// family.
 void RandomMutation(Rng& rng, const ConjunctiveQuery& q, Database& db,
                     int domain) {
-  const Atom& atom =
-      q.atom(static_cast<int>(rng.NextBounded(
-          static_cast<uint64_t>(q.num_atoms()))));
-  Relation* rel = db.Find(atom.relation);
-  ASSERT_NE(rel, nullptr);
-  const size_t ops = 1 + rng.NextBounded(3);
-  if (rng.NextBounded(2) == 0) {
-    // Batched path.
-    std::vector<std::vector<Value>> inserts;
-    std::vector<size_t> deletes;
-    size_t n = rel->NumRows();
-    for (size_t i = 0; i < ops; ++i) {
-      if (n > deletes.size() && rng.NextBounded(2) == 0) {
-        // Distinct random indices: retry a few times, then skip.
-        for (int attempt = 0; attempt < 4; ++attempt) {
-          size_t idx = rng.NextBounded(n);
-          if (std::find(deletes.begin(), deletes.end(), idx) ==
-              deletes.end()) {
-            deletes.push_back(idx);
-            break;
-          }
-        }
-      } else {
-        std::vector<Value> row(rel->arity());
-        for (Value& v : row) {
-          v = static_cast<Value>(rng.NextBounded(
-              static_cast<uint64_t>(domain)));
-        }
-        inserts.push_back(std::move(row));
-      }
-    }
-    ASSERT_TRUE(rel->ApplyDelta(inserts, deletes).ok());
-  } else {
-    for (size_t i = 0; i < ops; ++i) {
-      if (rel->NumRows() > 0 && rng.NextBounded(2) == 0) {
-        rel->SwapRemoveRow(rng.NextBounded(rel->NumRows()));
-      } else {
-        std::vector<Value> row(rel->arity());
-        for (Value& v : row) {
-          v = static_cast<Value>(rng.NextBounded(
-              static_cast<uint64_t>(domain)));
-        }
-        rel->AppendRow(row);
-      }
-    }
-  }
+  testing::ApplyRandomMutation(rng, db, testing::QueryRelationNames(q),
+                               domain);
 }
 
 class IncrementalStreamTest

@@ -82,20 +82,10 @@ Workload MakeOverlappingWorkload(Rng& rng, int domain) {
   return w;
 }
 
-// One randomized batch of 1-3 inserts/deletes against a random relation.
+// One randomized batch of 1-3 inserts/deletes against a random relation,
+// via the shared seeded-stream generator in test_util.
 void MutateRandomRelation(Rng& rng, Workload& w, int domain) {
-  Relation* rel = w.db.Find(
-      w.relations[rng.NextBounded(w.relations.size())]);
-  ASSERT_NE(rel, nullptr);
-  const size_t ops = 1 + rng.NextBounded(3);
-  for (size_t i = 0; i < ops; ++i) {
-    if (rel->NumRows() > 0 && rng.NextBounded(2) == 0) {
-      rel->SwapRemoveRow(rng.NextBounded(rel->NumRows()));
-    } else {
-      rel->AppendRow({static_cast<Value>(rng.NextBounded(domain)),
-                      static_cast<Value>(rng.NextBounded(domain))});
-    }
-  }
+  testing::ApplyRandomMutation(rng, w.db, w.relations, domain);
 }
 
 TSensComputeOptions ThreadedOptions(int threads) {
@@ -254,7 +244,9 @@ TEST(PlanCacheTest, SpillCascadeStaysCorrectAcrossSharedEntries) {
           "round " + std::to_string(round) + " query " + std::to_string(i));
     }
     EXPECT_EQ(cache.stats().state_bytes, 0u);
-    MutateRandomRelation(rng, w, 3);
+    // Mutate chain relations only, so at least the longest chain entry
+    // goes stale every round and must take the spilled-state fallback.
+    testing::ApplyRandomMutation(rng, w.db, {"A", "B", "C", "D", "E"}, 3);
   }
   EXPECT_GT(cache.stats().spills, 0u);
   EXPECT_GT(cache.stats().fallback_spilled, 0u);

@@ -1,6 +1,9 @@
 #include "test_util.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "common/macros.h"
 
 namespace lsens::testing {
 
@@ -142,6 +145,99 @@ PaperExample MakeRandomTriangleInstance(Rng& rng, int max_rows,
     ex.query.AddAtom(ex.db, name, vars);
   }
   return ex;
+}
+
+PaperExample MakeStreamInstance(Rng& rng, StreamShape shape) {
+  switch (shape) {
+    case StreamShape::kPath:
+      return MakeFigure3Example();
+    case StreamShape::kTree: {
+      RandomQuerySpec spec;
+      spec.min_atoms = 3;
+      spec.max_atoms = 4;
+      spec.predicate_probability = 0.0;
+      return MakeRandomAcyclicInstance(rng, spec);
+    }
+    case StreamShape::kTriangle:
+      return MakeRandomTriangleInstance(rng, /*max_rows=*/6,
+                                        /*domain_size=*/3);
+  }
+  LSENS_CHECK_MSG(false, "unknown StreamShape");
+  return {};
+}
+
+std::vector<std::string> QueryRelationNames(const ConjunctiveQuery& q) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(q.num_atoms()));
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    names.push_back(q.atom(i).relation);
+  }
+  return names;
+}
+
+namespace {
+
+std::vector<Value> RandomRow(Rng& rng, size_t arity, int domain) {
+  std::vector<Value> row(arity);
+  for (Value& v : row) {
+    v = static_cast<Value>(rng.NextBounded(static_cast<uint64_t>(domain)));
+  }
+  return row;
+}
+
+}  // namespace
+
+DatabaseDelta MakeRandomDelta(Rng& rng, const Database& db,
+                              const std::vector<std::string>& relations,
+                              int domain, size_t max_ops) {
+  LSENS_CHECK(!relations.empty() && max_ops > 0);
+  const Relation* rel =
+      db.Find(relations[rng.NextBounded(relations.size())]);
+  LSENS_CHECK(rel != nullptr);
+  RelationDelta rd;
+  rd.relation = rel->name();
+  const size_t ops = 1 + rng.NextBounded(max_ops);
+  const size_t n = rel->NumRows();
+  for (size_t i = 0; i < ops; ++i) {
+    if (n > rd.delete_rows.size() && rng.NextBounded(2) == 0) {
+      // Distinct random indices: retry a few times, then skip.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        size_t idx = rng.NextBounded(n);
+        if (std::find(rd.delete_rows.begin(), rd.delete_rows.end(), idx) ==
+            rd.delete_rows.end()) {
+          rd.delete_rows.push_back(idx);
+          break;
+        }
+      }
+    } else {
+      rd.inserts.push_back(RandomRow(rng, rel->arity(), domain));
+    }
+  }
+  DatabaseDelta delta;
+  delta.push_back(std::move(rd));
+  return delta;
+}
+
+void ApplyRandomMutation(Rng& rng, Database& db,
+                         const std::vector<std::string>& relations,
+                         int domain, size_t max_ops) {
+  LSENS_CHECK(!relations.empty() && max_ops > 0);
+  if (rng.NextBounded(2) == 0) {
+    // Batched path: one atomic DatabaseDelta.
+    DatabaseDelta delta = MakeRandomDelta(rng, db, relations, domain, max_ops);
+    LSENS_CHECK(db.ApplyDelta(delta).ok());
+    return;
+  }
+  Relation* rel = db.Find(relations[rng.NextBounded(relations.size())]);
+  LSENS_CHECK(rel != nullptr);
+  const size_t ops = 1 + rng.NextBounded(max_ops);
+  for (size_t i = 0; i < ops; ++i) {
+    if (rel->NumRows() > 0 && rng.NextBounded(2) == 0) {
+      rel->SwapRemoveRow(rng.NextBounded(rel->NumRows()));
+    } else {
+      rel->AppendRow(RandomRow(rng, rel->arity(), domain));
+    }
+  }
 }
 
 }  // namespace lsens::testing

@@ -49,6 +49,40 @@ PaperExample MakeRandomAcyclicInstance(Rng& rng, const RandomQuerySpec& spec);
 PaperExample MakeRandomTriangleInstance(Rng& rng, int max_rows,
                                         int domain_size);
 
+// --- Seeded stream workloads ---------------------------------------------
+// Shared by the streaming suites (incremental_test, plan_cache_test,
+// serving_test): one seed determines both the instance build and the delta
+// stream, so every suite replays the identical workload family instead of
+// keeping its own diverging copy of the generator.
+
+// Query shapes the streaming suites replay.
+enum class StreamShape { kPath, kTree, kTriangle };
+
+// A db+query instance for `shape`: path = the Figure 3 running example
+// (non-trivial by construction), tree = a random acyclic instance,
+// triangle = a random cyclic instance.
+PaperExample MakeStreamInstance(Rng& rng, StreamShape shape);
+
+// The query's relation names in atom order (an atom per element, so
+// relations mentioned by more atoms are mutated proportionally more often).
+std::vector<std::string> QueryRelationNames(const ConjunctiveQuery& q);
+
+// One randomized batch of 1..max_ops inserts/deletes against a single
+// random relation of `relations`, returned as a DatabaseDelta that applies
+// cleanly through Database::ApplyDelta (delete indices are distinct and in
+// range for the relation's current size).
+DatabaseDelta MakeRandomDelta(Rng& rng, const Database& db,
+                              const std::vector<std::string>& relations,
+                              int domain, size_t max_ops = 3);
+
+// Applies one randomized batch (1..max_ops inserts/deletes) to a random
+// relation of `relations`, mixing the direct mutators
+// (AppendRow/SwapRemoveRow) and the batched ApplyDelta path so streams
+// exercise both changelog producers.
+void ApplyRandomMutation(Rng& rng, Database& db,
+                         const std::vector<std::string>& relations,
+                         int domain, size_t max_ops = 3);
+
 }  // namespace lsens::testing
 
 #endif  // LSENS_TESTS_TEST_UTIL_H_
