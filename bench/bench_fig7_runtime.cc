@@ -24,7 +24,7 @@
 #include "bench_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "sensitivity/elastic.h"
 #include "sensitivity/tsens.h"
 #include "workload/queries.h"

@@ -24,9 +24,9 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "exec/counted_relation.h"
-#include "exec/eval.h"
 #include "exec/exec_context.h"
 #include "exec/join.h"
+#include "query/eval.h"
 #include "workload/queries.h"
 #include "workload/tpch.h"
 

@@ -9,8 +9,8 @@
 
 #include <cstdio>
 
-#include "exec/enumerate.h"
-#include "exec/eval.h"
+#include "query/enumerate.h"
+#include "query/eval.h"
 #include "query/explain.h"
 #include "query/parser.h"
 #include "sensitivity/tsens.h"

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "sensitivity/tsens.h"
 
 int main() {

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "sensitivity/tsens.h"
 #include "sensitivity/tsens_engine.h"
 #include "storage/database.h"

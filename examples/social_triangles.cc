@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "common/timer.h"
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "sensitivity/elastic.h"
 #include "sensitivity/naive.h"
 #include "sensitivity/tsens.h"

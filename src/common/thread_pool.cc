@@ -88,6 +88,9 @@ bool ThreadPool::OnWorkerThread() { return tl_on_pool_worker; }
 
 ThreadPool& GlobalThreadPool() {
   static ThreadPool pool([] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once under the
+    // function-local static's init guard, before any pool worker exists;
+    // nothing in the process writes the environment.
     if (const char* raw = std::getenv("LSENS_POOL_WORKERS")) {
       long n = std::atol(raw);
       if (n > 0) return static_cast<size_t>(n);

@@ -9,7 +9,7 @@
 #include "dp/laplace.h"
 #include "dp/svt.h"
 #include "dp/truncation.h"
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "query/join_tree.h"
 #include "sensitivity/elastic.h"
 

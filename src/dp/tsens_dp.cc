@@ -8,7 +8,7 @@
 #include "common/timer.h"
 #include "dp/laplace.h"
 #include "dp/svt.h"
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "query/join_tree.h"
 #include "sensitivity/tsens_engine.h"
 

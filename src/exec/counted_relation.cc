@@ -11,11 +11,7 @@ namespace lsens {
 
 int CompareRows(std::span<const Value> a, std::span<const Value> b) {
   LSENS_CHECK(a.size() == b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i] < b[i]) return -1;
-    if (a[i] > b[i]) return 1;
-  }
-  return 0;
+  return CompareRowsUnchecked(a, b);
 }
 
 CountedRelation::CountedRelation(AttributeSet attrs)
@@ -28,45 +24,6 @@ CountedRelation CountedRelation::Unit() {
   CountedRelation unit{AttributeSet{}};
   unit.counts_.push_back(Count::One());
   return unit;
-}
-
-CountedRelation CountedRelation::FromAtom(const Relation& rel,
-                                          const Atom& atom,
-                                          const AttributeSet& keep,
-                                          ExecContext* ctx) {
-  LSENS_CHECK(atom.vars.size() == rel.arity());
-  LSENS_CHECK_MSG(IsSubset(keep, atom.VarSet()),
-                  "projection must keep a subset of the atom's variables");
-  // Column positions: keep[j] lives at rel column keep_cols[j]; predicates
-  // evaluate against pred_cols[p].
-  std::vector<size_t> keep_cols(keep.size());
-  for (size_t j = 0; j < keep.size(); ++j) {
-    size_t col = 0;
-    while (atom.vars[col] != keep[j]) ++col;
-    keep_cols[j] = col;
-  }
-  std::vector<size_t> pred_cols(atom.predicates.size());
-  for (size_t p = 0; p < atom.predicates.size(); ++p) {
-    size_t col = 0;
-    while (atom.vars[col] != atom.predicates[p].var) ++col;
-    pred_cols[p] = col;
-  }
-
-  CountedRelation out(keep);
-  out.Reserve(rel.NumRows());
-  std::vector<Value> projected(keep.size());
-  for (size_t i = 0; i < rel.NumRows(); ++i) {
-    std::span<const Value> row = rel.Row(i);
-    bool pass = true;
-    for (size_t p = 0; p < atom.predicates.size() && pass; ++p) {
-      pass = atom.predicates[p].Eval(row[pred_cols[p]]);
-    }
-    if (!pass) continue;
-    for (size_t j = 0; j < keep.size(); ++j) projected[j] = row[keep_cols[j]];
-    out.AppendRow(projected, Count::One());
-  }
-  out.Normalize(ctx);
-  return out;
 }
 
 void CountedRelation::AppendRow(std::span<const Value> row, Count count) {
@@ -171,11 +128,15 @@ size_t CountedRelation::ArgMaxRow() const {
 Count CountedRelation::Lookup(std::span<const Value> row) const {
   LSENS_CHECK_MSG(normalized_, "Lookup requires a normalized relation");
   LSENS_CHECK(row.size() == arity());
+  // The arity check above covers every probe of the search: Row(mid) is
+  // arity-sized by construction, so the loop compares unchecked instead of
+  // re-asserting sizes O(log n) times — this is the hot path of the
+  // per-tuple sensitivity scan.
   size_t lo = 0;
   size_t hi = NumRows();
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
-    int cmp = CompareRows(Row(mid), row);
+    int cmp = CompareRowsUnchecked(Row(mid), row);
     if (cmp == 0) return counts_[mid];
     if (cmp < 0) {
       lo = mid + 1;

@@ -8,9 +8,8 @@
 
 #include "common/count.h"
 #include "common/macros.h"
-#include "query/conjunctive_query.h"
 #include "storage/attribute_set.h"
-#include "storage/relation.h"
+#include "storage/value.h"
 
 namespace lsens {
 
@@ -37,14 +36,9 @@ class CountedRelation {
   // of r⋈ (used for empty joins / single-atom queries).
   static CountedRelation Unit();
 
-  // Ingests one atom of a query: binds columns to variables, applies the
-  // atom's predicates, projects onto `keep` (must be a subset of the atom's
-  // variables), and normalizes (duplicates grouped, counts summed).
-  // Normalize scratch comes from `ctx` (the thread-local default when
-  // null — pass the worker context when called from a parallel region).
-  static CountedRelation FromAtom(const Relation& rel, const Atom& atom,
-                                  const AttributeSet& keep,
-                                  ExecContext* ctx = nullptr);
+  // Atom ingestion (predicate filter + projection over a stored Relation)
+  // lives in the query layer: see ScanAtom in query/atom_scan.h. The exec
+  // layer has no notion of query atoms.
 
   const AttributeSet& attrs() const { return attrs_; }
   size_t arity() const { return attrs_.size(); }
@@ -119,7 +113,20 @@ class CountedRelation {
 };
 
 // Lexicographic row comparison helpers shared by join/group-by.
+// CompareRows asserts a.size() == b.size() on every call; the Unchecked
+// variant is for call sites that have hoisted that invariant out of a hot
+// loop (binary-search probes, oracle scans) — same-relation rows or a key
+// already asserted against arity(). Hoist the check, don't drop it.
 int CompareRows(std::span<const Value> a, std::span<const Value> b);
+
+inline int CompareRowsUnchecked(std::span<const Value> a,
+                                std::span<const Value> b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
 
 // γ_{group_attrs} with sum over cnt (the paper's group-by). `group_attrs`
 // must be a subset of in.attrs(); input must not carry a default. Runs on

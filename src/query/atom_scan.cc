@@ -1,0 +1,49 @@
+#include "query/atom_scan.h"
+
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "exec/exec_context.h"
+
+namespace lsens {
+
+CountedRelation ScanAtom(const Relation& rel, const Atom& atom,
+                         const AttributeSet& keep, ExecContext* ctx) {
+  LSENS_CHECK(atom.vars.size() == rel.arity());
+  LSENS_CHECK_MSG(IsSubset(keep, atom.VarSet()),
+                  "projection must keep a subset of the atom's variables");
+  // Column positions: keep[j] lives at rel column keep_cols[j]; predicates
+  // evaluate against pred_cols[p]. Resolving them here keeps the per-row
+  // loop free of invariant checks.
+  std::vector<size_t> keep_cols(keep.size());
+  for (size_t j = 0; j < keep.size(); ++j) {
+    size_t col = 0;
+    while (atom.vars[col] != keep[j]) ++col;
+    keep_cols[j] = col;
+  }
+  std::vector<size_t> pred_cols(atom.predicates.size());
+  for (size_t p = 0; p < atom.predicates.size(); ++p) {
+    size_t col = 0;
+    while (atom.vars[col] != atom.predicates[p].var) ++col;
+    pred_cols[p] = col;
+  }
+
+  CountedRelation out(keep);
+  out.Reserve(rel.NumRows());
+  std::vector<Value> projected(keep.size());
+  for (size_t i = 0; i < rel.NumRows(); ++i) {
+    std::span<const Value> row = rel.Row(i);
+    bool pass = true;
+    for (size_t p = 0; p < atom.predicates.size() && pass; ++p) {
+      pass = atom.predicates[p].Eval(row[pred_cols[p]]);
+    }
+    if (!pass) continue;
+    for (size_t j = 0; j < keep.size(); ++j) projected[j] = row[keep_cols[j]];
+    out.AppendRow(projected, Count::One());
+  }
+  out.Normalize(ctx);
+  return out;
+}
+
+}  // namespace lsens

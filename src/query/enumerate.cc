@@ -1,10 +1,11 @@
-#include "exec/enumerate.h"
+#include "query/enumerate.h"
 
 #include <utility>
 #include <vector>
 
 #include "exec/hash_group_table.h"
 #include "exec/join.h"
+#include "query/atom_scan.h"
 #include "query/join_tree.h"
 
 namespace lsens {
@@ -57,7 +58,7 @@ StatusOr<CountedRelation> EnumerateJoin(const ConjunctiveQuery& q,
       auto rel = db.Get(q.atom(a).relation);
       if (!rel.ok()) return rel.status();
       atoms.push_back(
-          CountedRelation::FromAtom(**rel, q.atom(a), q.atom(a).VarSet()));
+          ScanAtom(**rel, q.atom(a), q.atom(a).VarSet()));
     }
     std::vector<const CountedRelation*> pieces;
     for (const auto& r : atoms) pieces.push_back(&r);

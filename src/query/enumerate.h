@@ -1,5 +1,5 @@
-#ifndef LSENS_EXEC_ENUMERATE_H_
-#define LSENS_EXEC_ENUMERATE_H_
+#ifndef LSENS_QUERY_ENUMERATE_H_
+#define LSENS_QUERY_ENUMERATE_H_
 
 #include "common/status.h"
 #include "exec/exec_context.h"
@@ -40,4 +40,4 @@ CountedRelation Semijoin(const CountedRelation& a, const CountedRelation& b,
 
 }  // namespace lsens
 
-#endif  // LSENS_EXEC_ENUMERATE_H_
+#endif  // LSENS_QUERY_ENUMERATE_H_

@@ -1,7 +1,9 @@
-#include "exec/eval.h"
+#include "query/eval.h"
 
 #include <utility>
 #include <vector>
+
+#include "query/atom_scan.h"
 
 namespace lsens {
 
@@ -17,7 +19,7 @@ StatusOr<std::vector<CountedRelation>> BuildAtomInputs(
     auto rel = db.Get(q.atom(i).relation);
     if (!rel.ok()) return rel.status();
     inputs.push_back(
-        CountedRelation::FromAtom(**rel, q.atom(i), q.SharedVarsOf(i)));
+        ScanAtom(**rel, q.atom(i), q.SharedVarsOf(i)));
   }
   return inputs;
 }
@@ -89,7 +91,7 @@ StatusOr<CountedRelation> BruteForceJoin(const ConjunctiveQuery& q,
     auto rel = db.Get(q.atom(i).relation);
     if (!rel.ok()) return rel.status();
     full.push_back(
-        CountedRelation::FromAtom(**rel, q.atom(i), q.atom(i).VarSet()));
+        ScanAtom(**rel, q.atom(i), q.atom(i).VarSet()));
   }
   std::vector<const CountedRelation*> pieces;
   pieces.reserve(full.size());

@@ -1,5 +1,5 @@
-#ifndef LSENS_EXEC_EVAL_H_
-#define LSENS_EXEC_EVAL_H_
+#ifndef LSENS_QUERY_EVAL_H_
+#define LSENS_QUERY_EVAL_H_
 
 #include "common/count.h"
 #include "common/status.h"
@@ -41,4 +41,4 @@ StatusOr<Count> BruteForceCount(const ConjunctiveQuery& q, const Database& db,
 
 }  // namespace lsens
 
-#endif  // LSENS_EXEC_EVAL_H_
+#endif  // LSENS_QUERY_EVAL_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/counted_relation.h"
+#include "query/atom_scan.h"
 
 namespace lsens {
 
@@ -24,7 +25,7 @@ Count DataMaxFreqProvider::MaxFreq(int atom_index,
   // Static analysis: strip predicates before counting frequencies.
   Atom stripped = atom;
   stripped.predicates.clear();
-  CountedRelation grouped = CountedRelation::FromAtom(*rel, stripped, vars);
+  CountedRelation grouped = ScanAtom(*rel, stripped, vars);
   Count result = grouped.MaxCount();
   cache_.emplace(key, result);
   return result;

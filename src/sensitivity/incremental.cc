@@ -462,6 +462,9 @@ void SensitivityCache::SweepStore() {
   bool erased = true;
   while (erased) {
     erased = false;
+    // lsens-lint: allow(unordered-iter) erase-to-fixpoint over a set: which
+    // nodes die is determined by use_count alone and the byte gauge is a
+    // commutative sum, so visit order cannot reach results or stats.
     for (auto it = by_sig.begin(); it != by_sig.end();) {
       if (it->second.use_count() == 1) {
         stats_.state_bytes -= it->second->accounted_bytes;
@@ -495,6 +498,10 @@ void SensitivityCache::EnforceStateBudget(ExecContext& ctx) {
   if (config_.max_state_bytes == 0) return;
   while (stats_.state_bytes > config_.max_state_bytes) {
     SharedNode* victim = nullptr;
+    // lsens-lint: allow(unordered-iter) argmin under a strict total order
+    // (stale beats fresh, then oldest last_used, then smallest seq): the
+    // winner — and therefore the spill sequence and stats — is the same
+    // whatever order the map yields candidates in.
     for (const auto& [sig, node] : store_->ns.by_sig) {
       if (node->released || node->accounted_bytes == 0) continue;
       if (victim == nullptr) {
@@ -503,10 +510,15 @@ void SensitivityCache::EnforceStateBudget(ExecContext& ctx) {
       }
       const bool v_stale = victim->stale != SharedNode::StaleReason::kNone;
       const bool n_stale = node->stale != SharedNode::StaleReason::kNone;
-      if (n_stale != v_stale ? n_stale
-                             : node->last_used < victim->last_used) {
-        victim = node.get();
+      bool better;
+      if (n_stale != v_stale) {
+        better = n_stale;
+      } else if (node->last_used != victim->last_used) {
+        better = node->last_used < victim->last_used;
+      } else {
+        better = node->seq < victim->seq;  // total order: ties cannot leak
       }
+      if (better) victim = node.get();
     }
     if (victim == nullptr) return;  // nothing left to spill
     ++stats_.spills;
@@ -1236,6 +1248,8 @@ void SensitivityCache::SyncStore(Database& db, int threads,
   // Live nodes in creation order — a valid dependency order of the DAG.
   std::vector<SharedNode*> nodes;
   nodes.reserve(ns.by_sig.size());
+  // lsens-lint: allow(unordered-iter) snapshot collection only — the very
+  // next statement sorts by seq, so map order never survives past this line.
   for (const auto& [sig, node] : ns.by_sig) nodes.push_back(node.get());
   std::sort(nodes.begin(), nodes.end(),
             [](const SharedNode* a, const SharedNode* b) {

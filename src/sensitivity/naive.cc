@@ -4,8 +4,8 @@
 #include <set>
 #include <utility>
 
-#include "exec/eval.h"
 #include "exec/exec_context.h"
+#include "query/eval.h"
 
 namespace lsens {
 
@@ -105,10 +105,13 @@ StatusOr<NaiveResult> NaiveLocalSensitivity(const ConjunctiveQuery& q,
       distinct.insert(std::vector<Value>(row.begin(), row.end()));
     }
     for (const auto& tuple : distinct) {
-      // Find one occurrence, remove it, evaluate, restore.
+      // Find one occurrence, remove it, evaluate, restore. The arity check
+      // is hoisted out of the O(n) position scan (every row of `distinct`
+      // came from `rel`, so one assert covers the whole scan).
+      LSENS_CHECK(tuple.size() == rel->arity());
       size_t pos = SIZE_MAX;
       for (size_t r = 0; r < rel->NumRows(); ++r) {
-        if (CompareRows(rel->Row(r), tuple) == 0) {
+        if (CompareRowsUnchecked(rel->Row(r), tuple) == 0) {
           pos = r;
           break;
         }
@@ -186,9 +189,10 @@ StatusOr<Count> NaiveTupleSensitivity(const ConjunctiveQuery& q, Database& db,
   if (!up_or.ok()) return up_or.status();
   Count delta = AbsDiff(*base_or, *up_or);
 
-  // Downward (only if present).
+  // Downward (only if present). The arity-mismatch guard above already
+  // covers the scan, so the per-row comparison runs unchecked.
   for (size_t r = 0; r < rel->NumRows(); ++r) {
-    if (CompareRows(rel->Row(r), tuple) == 0) {
+    if (CompareRowsUnchecked(rel->Row(r), tuple) == 0) {
       std::vector<Value> saved(tuple.begin(), tuple.end());
       rel->SwapRemoveRow(r);
       auto down_or = Eval(q, db, options);

@@ -4,8 +4,9 @@
 #include <optional>
 #include <utility>
 
-#include "exec/eval.h"
 #include "exec/exec_context.h"
+#include "query/atom_scan.h"
+#include "query/eval.h"
 
 namespace lsens {
 
@@ -91,7 +92,7 @@ StatusOr<SensitivityResult> TSensOverGhd(const ConjunctiveQuery& q,
   ParallelApply(ctx, threads, static_cast<size_t>(num_atoms),
                 [&](size_t a, ExecContext& wctx) {
                   const int ai = static_cast<int>(a);
-                  s[a] = CountedRelation::FromAtom(
+                  s[a] = ScanAtom(
                       *atom_rels[a], q.atom(ai), q.SharedVarsOf(ai), &wctx);
                 });
 

@@ -5,6 +5,7 @@
 
 #include "exec/exec_context.h"
 #include "exec/fold_join.h"
+#include "query/atom_scan.h"
 
 namespace lsens {
 
@@ -60,7 +61,7 @@ StatusOr<SensitivityResult> TSensPath(const ConjunctiveQuery& q,
   s.reserve(m);
   for (size_t i = 0; i < m; ++i) s.emplace_back(AttributeSet{});
   ParallelApply(ctx, threads, m, [&](size_t i, ExecContext& wctx) {
-    s[i] = CountedRelation::FromAtom(*chain_rels[i], q.atom(order[i]),
+    s[i] = ScanAtom(*chain_rels[i], q.atom(order[i]),
                                      keeps[i], &wctx);
   });
 

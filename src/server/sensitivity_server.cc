@@ -21,6 +21,9 @@ struct Epoch {
   Database db;
   std::vector<std::pair<std::string, uint64_t>> versions;
   size_t bytes = 0;
+  // lsens-lint: allow(unordered-iter) lookup-only result maps keyed by the
+  // canonical query fingerprint; serving probes with find(), never walks —
+  // per-query answers cannot depend on map order.
   std::unordered_map<std::string, SensitivityResult> warm;
   std::mutex cold_mu;
   std::unordered_map<std::string, SensitivityResult> cold;

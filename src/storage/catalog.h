@@ -30,6 +30,8 @@ class AttributeCatalog {
 
  private:
   std::vector<std::string> names_;
+  // lsens-lint: allow(unordered-iter) lookup-only interning table; the
+  // ordered view is names_ (AttrId order) — iterate that instead.
   std::unordered_map<std::string, AttrId> ids_;
 };
 

@@ -92,14 +92,22 @@ StatusOr<uint64_t> Database::VersionOf(const std::string& relation) const {
 }
 
 size_t Database::TotalRows() const {
+  // Walk names_ (insertion order), not relations_: the sums are commutative
+  // either way, but routing every full-database walk through the ordered
+  // view keeps iteration order out of the picture entirely (and out of the
+  // lsens-lint unordered-iter audit).
   size_t total = 0;
-  for (const auto& [name, rel] : relations_) total += rel->NumRows();
+  for (const auto& name : names_) {
+    total += relations_.find(name)->second->NumRows();
+  }
   return total;
 }
 
 size_t Database::MemoryBytes() const {
   size_t total = 0;
-  for (const auto& [name, rel] : relations_) total += rel->MemoryBytes();
+  for (const auto& name : names_) {
+    total += relations_.find(name)->second->MemoryBytes();
+  }
   return total;
 }
 

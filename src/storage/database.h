@@ -90,6 +90,9 @@ class Database {
 
  private:
   std::vector<std::string> names_;  // insertion order, for stable iteration
+  // lsens-lint: allow(unordered-iter) lookup-only by name; every walk over
+  // the database routes through names_ so iteration order is insertion
+  // order, never hash order.
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
   AttributeCatalog attrs_;
   Dictionary dict_;

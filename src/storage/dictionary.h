@@ -58,6 +58,8 @@ class Dictionary {
   };
 
   std::vector<std::string> strings_;
+  // lsens-lint: allow(unordered-iter) lookup-only interning table; the
+  // ordered view is strings_ (code order) — iterate that instead.
   std::unordered_map<std::string, Value, StringHash, StringEq> values_;
 };
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/count.h"
+#include "common/macros.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -183,6 +184,39 @@ TEST(RngTest, SplitProducesIndependentStream) {
   int equal = 0;
   for (int i = 0; i < 64; ++i) equal += (a.NextUint64() == b.NextUint64());
   EXPECT_LT(equal, 3);
+}
+
+// LSENS_CHECK contract pins. The macro promises (a) the condition is
+// evaluated exactly once — so hoisting a check out of a loop is always a
+// pure reordering, never a behavior change — and (b) it stays armed in
+// every build mode, release included (results feed privacy budgets; see
+// common/macros.h). These run in all four CI presets, so a configuration
+// that compiled the check out or double-evaluated the condition fails
+// here rather than silently weakening the invariants lsens-lint and the
+// hoisted call sites rely on.
+TEST(CheckMacroTest, ConditionEvaluatedExactlyOnce) {
+  int evals = 0;
+  LSENS_CHECK(++evals > 0);
+  EXPECT_EQ(evals, 1);
+  evals = 0;
+  LSENS_CHECK_MSG(++evals > 0, "single evaluation");
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(CheckMacroTest, PassingCheckHasNoSideEffects) {
+  // A true condition must be the whole story: no stringification side
+  // channel, no stream evaluation, nothing observable.
+  bool flag = true;
+  LSENS_CHECK(flag);
+  LSENS_CHECK_MSG(flag, "still just a branch");
+  EXPECT_TRUE(flag);
+}
+
+TEST(CheckMacroDeathTest, ArmedInEveryBuildMode) {
+  // NDEBUG must not compile the check out — assert() semantics are
+  // explicitly NOT what this macro provides.
+  EXPECT_DEATH(LSENS_CHECK(1 + 1 == 3), "LSENS_CHECK failed");
+  EXPECT_DEATH(LSENS_CHECK_MSG(false, "reason text"), "reason text");
 }
 
 }  // namespace

@@ -7,8 +7,8 @@
 
 #include <map>
 
-#include "exec/enumerate.h"
-#include "exec/eval.h"
+#include "query/enumerate.h"
+#include "query/eval.h"
 #include "query/ghd.h"
 #include "query/join_tree.h"
 #include "query/parser.h"

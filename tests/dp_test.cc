@@ -7,7 +7,7 @@
 #include "dp/svt.h"
 #include "dp/truncation.h"
 #include "dp/tsens_dp.h"
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "sensitivity/tsens.h"
 #include "sensitivity/tsens_engine.h"
 #include "test_util.h"

@@ -4,8 +4,8 @@
 
 #include <gtest/gtest.h>
 
-#include "exec/enumerate.h"
-#include "exec/eval.h"
+#include "query/enumerate.h"
+#include "query/eval.h"
 #include "query/ghd.h"
 #include "query/join_tree.h"
 #include "sensitivity/naive.h"

@@ -3,9 +3,10 @@
 #include <algorithm>
 
 #include "exec/counted_relation.h"
-#include "exec/eval.h"
 #include "exec/fold_join.h"
 #include "exec/join.h"
+#include "query/atom_scan.h"
+#include "query/eval.h"
 #include "test_util.h"
 
 namespace lsens {
@@ -54,19 +55,19 @@ TEST(CountedRelationTest, UnitBehaves) {
   EXPECT_EQ(unit.TotalCount(), Count::One());
 }
 
-TEST(CountedRelationTest, FromAtomProjectsAndCounts) {
+TEST(ScanAtomTest, ProjectsAndCounts) {
   auto ex = MakeFigure1Example();
   const Relation& r1 = *ex.db.Find("R1");
   AttrId a = ex.db.attrs().Lookup("A");
   // Project R1(A,B,C) onto {A}: a1 x2, a2 x1.
   CountedRelation s =
-      CountedRelation::FromAtom(r1, ex.query.atom(0), {a});
+      ScanAtom(r1, ex.query.atom(0), {a});
   ASSERT_EQ(s.NumRows(), 2u);
   EXPECT_EQ(s.TotalCount(), Count(3));
   EXPECT_EQ(s.MaxCount(), Count(2));
 }
 
-TEST(CountedRelationTest, FromAtomAppliesPredicates) {
+TEST(ScanAtomTest, AppliesPredicates) {
   auto ex = MakeFigure1Example();
   ConjunctiveQuery q;
   int atom = q.AddAtom(ex.db, "R1", {"A", "B", "C"});
@@ -77,7 +78,7 @@ TEST(CountedRelationTest, FromAtomAppliesPredicates) {
   q.AddPredicate(atom, p);
   AttrId a = ex.db.attrs().Lookup("A");
   CountedRelation s =
-      CountedRelation::FromAtom(*ex.db.Find("R1"), q.atom(0), {a});
+      ScanAtom(*ex.db.Find("R1"), q.atom(0), {a});
   ASSERT_EQ(s.NumRows(), 1u);
   EXPECT_EQ(s.CountAt(0), Count(2));  // two a1 rows
 }

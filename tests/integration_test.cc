@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "dp/tsens_dp.h"
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "sensitivity/elastic.h"
 #include "sensitivity/naive.h"
 #include "sensitivity/tsens.h"

@@ -18,9 +18,9 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "exec/counted_relation.h"
-#include "exec/eval.h"
 #include "exec/exec_context.h"
 #include "exec/join.h"
+#include "query/eval.h"
 #include "sensitivity/tsens.h"
 #include "sensitivity/tsens_engine.h"
 #include "test_util.h"

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "query/ghd.h"
 #include "query/join_tree.h"
 #include "sensitivity/naive.h"

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "query/ghd.h"
 #include "query/join_tree.h"
 #include "sensitivity/naive.h"

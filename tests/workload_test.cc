@@ -3,7 +3,7 @@
 #include <map>
 #include <set>
 
-#include "exec/eval.h"
+#include "query/eval.h"
 #include "query/join_tree.h"
 #include "sensitivity/tsens.h"
 #include "workload/queries.h"

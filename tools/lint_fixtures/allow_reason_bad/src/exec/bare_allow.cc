@@ -1,0 +1,19 @@
+// MUST-FIRE fixture for rule allow-reason: an allow with no justification
+// (the audit is worthless if entries don't say *why*), and an allow naming
+// a rule that is not allowlistable.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+int SumAllowedButUnjustified(const std::unordered_map<std::string, int>& m) {
+  int sum = 0;
+  // lsens-lint: allow(unordered-iter)
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}
+
+// lsens-lint: allow(layering) layering is never allowlistable
+void Nothing();
+
+}  // namespace fixture

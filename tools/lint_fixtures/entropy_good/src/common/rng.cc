@@ -1,0 +1,13 @@
+// MUST-PASS fixture for rule entropy: common/rng.cc is one of the two
+// entropy homes — hardware seeding belongs here and only here. The
+// seeded-PRNG consumer below it never touches an entropy source itself.
+#include <random>
+
+namespace fixture {
+
+unsigned HardwareSeed() {
+  std::random_device rd;  // exempt: this file is the entropy home
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// The consumer half of the entropy must-pass fixture: explicit seeds and
+// mt19937 draws are fine anywhere — they replay bit-for-bit.
+#include <random>
+
+namespace fixture {
+
+int Draw(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

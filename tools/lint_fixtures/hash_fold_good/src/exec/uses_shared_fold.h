@@ -1,0 +1,27 @@
+// MUST-PASS fixture for rule hash-fold: *calling* the shared helpers (and
+// chaining the fold over a column subset) is exactly what callers are
+// supposed to do — only redefinition is banned.
+#ifndef FIXTURE_USES_SHARED_FOLD_H_
+#define FIXTURE_USES_SHARED_FOLD_H_
+
+#include <cstdint>
+#include <span>
+
+#include "storage/value.h"
+
+namespace fixture {
+
+inline uint64_t HashSubset(std::span<const int64_t> row,
+                           std::span<const int> cols) {
+  uint64_t h = lsens::kValueHashSeed;
+  for (int c : cols) h = lsens::HashValueFold(h, row[static_cast<size_t>(c)]);
+  return h;
+}
+
+inline uint64_t HashWholeRow(std::span<const int64_t> row) {
+  return lsens::HashValues(row);
+}
+
+}  // namespace fixture
+
+#endif  // FIXTURE_USES_SHARED_FOLD_H_

@@ -1,0 +1,10 @@
+// MUST-FIRE fixture for rule layering: storage reaching up into exec and
+// query. Both edges invert the DAG common <- storage <- exec <- query.
+#ifndef FIXTURE_REACHES_UP_H_
+#define FIXTURE_REACHES_UP_H_
+
+#include "exec/counted_relation.h"
+#include "query/conjunctive_query.h"
+#include "storage/relation.h"
+
+#endif  // FIXTURE_REACHES_UP_H_

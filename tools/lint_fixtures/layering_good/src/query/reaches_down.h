@@ -1,0 +1,11 @@
+// MUST-PASS fixture for rule layering: query may include exec, storage,
+// common, and itself — every edge here points down the DAG.
+#ifndef FIXTURE_REACHES_DOWN_H_
+#define FIXTURE_REACHES_DOWN_H_
+
+#include "common/status.h"
+#include "exec/counted_relation.h"
+#include "query/conjunctive_query.h"
+#include "storage/relation.h"
+
+#endif  // FIXTURE_REACHES_DOWN_H_

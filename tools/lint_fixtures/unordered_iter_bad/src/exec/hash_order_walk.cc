@@ -1,0 +1,22 @@
+// MUST-FIRE fixture for rule unordered-iter: a range-for and an iterator
+// loop over unordered containers with no allow annotation. A stats sum
+// accumulated in hash order is exactly how nondeterminism leaks.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int SumInHashOrder(const std::unordered_map<std::string, int>& totals) {
+  int sum = 0;
+  for (const auto& [name, n] : totals) sum += n;
+  return sum;
+}
+
+int CountViaIterators(const std::unordered_set<int>& seen) {
+  int n = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) ++n;
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// MUST-PASS fixture for rule unordered-iter, covering all three sanctioned
+// shapes: find()-only probes (never flagged), a loop justified by a
+// line-site allow, and a lookup-only table whose declaration-site allow
+// covers every loop over it. Both allows must appear in the audit.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// lsens-lint: allow(unordered-iter) lookup-only side table; results always
+// come from the sorted keys_ snapshot next to it.
+std::unordered_map<std::string, int> g_side_table;
+
+int Probe(const std::string& key) {
+  auto it = g_side_table.find(key);
+  return it == g_side_table.end() ? 0 : it->second;
+}
+
+int DeclSiteAllowCoversThisLoop() {
+  int sum = 0;
+  for (const auto& [k, v] : g_side_table) sum += v;
+  return sum;
+}
+
+std::vector<std::string> SortedKeys(
+    const std::unordered_map<std::string, int>& m) {
+  std::vector<std::string> keys;
+  keys.reserve(m.size());
+  // lsens-lint: allow(unordered-iter) snapshot collection only — the keys
+  // are sorted before anyone observes them.
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// CLI for lsens-lint (see lsens_lint.h for the rules). Usage:
+//
+//   lsens-lint [repo-root]
+//
+// Scans <repo-root>/src (default: the current directory), prints findings
+// plus the allow audit, and exits non-zero if any rule fired. Run as a
+// blocking CTest entry (`ctest -R lsens_lint`) and CI job.
+
+#include <cstdio>
+
+#include "lsens_lint.h"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root = argc > 1 ? argv[1] : ".";
+  if (!std::filesystem::exists(root / "src")) {
+    std::fprintf(stderr, "lsens-lint: no src/ under '%s'\n",
+                 root.string().c_str());
+    return 2;
+  }
+  const lsens_lint::Report report = lsens_lint::RunLint(root);
+  std::fputs(lsens_lint::FormatReport(report).c_str(), stdout);
+  return report.findings.empty() ? 0 : 1;
+}
