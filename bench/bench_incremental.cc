@@ -85,8 +85,7 @@ void MutateOne(Rng& rng, const ConjunctiveQuery& q, Database& db) {
   if (n > 1 && rng.NextBounded(2) == 0) {
     rel->SwapRemoveRow(rng.NextBounded(n));
   } else if (n > 0) {
-    std::span<const Value> picked = rel->Row(rng.NextBounded(n));
-    std::vector<Value> row(picked.begin(), picked.end());
+    std::vector<Value> row = rel->Row(rng.NextBounded(n));
     rel->AppendRow(row);
   }
 }

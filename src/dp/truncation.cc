@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/macros.h"
@@ -11,15 +12,17 @@ namespace lsens {
 
 namespace {
 
-// Key-frequency map over the chosen columns.
+// Key-frequency map over the chosen columns, read as column spans.
 std::map<std::vector<Value>, size_t> KeyFrequencies(
     const Relation& rel, const std::vector<int>& key_cols) {
   std::map<std::vector<Value>, size_t> freq;
+  std::vector<std::span<const Value>> cols(key_cols.size());
+  for (size_t j = 0; j < key_cols.size(); ++j) {
+    cols[j] = rel.Column(static_cast<size_t>(key_cols[j]));
+  }
   std::vector<Value> key(key_cols.size());
   for (size_t r = 0; r < rel.NumRows(); ++r) {
-    for (size_t j = 0; j < key_cols.size(); ++j) {
-      key[j] = rel.At(r, static_cast<size_t>(key_cols[j]));
-    }
+    for (size_t j = 0; j < key_cols.size(); ++j) key[j] = cols[j][r];
     ++freq[key];
   }
   return freq;
@@ -40,17 +43,19 @@ StatusOr<size_t> TruncateBySensitivity(Database& db,
   OpTimer op(ResolveExecContext(ctx), "dp.truncate_by_sensitivity",
              rel->NumRows());
   // Rebuild without the over-sensitive rows (cheaper and order-stable
-  // compared to repeated swap-removes, which would desynchronize indices).
-  Relation kept(rel->name(), rel->column_names());
-  kept.Reserve(rel->NumRows());
-  size_t removed = 0;
+  // compared to repeated swap-removes, which would desynchronize indices):
+  // collect the surviving indices, then gather-append them column by
+  // column.
+  std::vector<uint32_t> kept_rows;
+  kept_rows.reserve(rel->NumRows());
   for (size_t r = 0; r < rel->NumRows(); ++r) {
-    if (sensitivities[r] > threshold) {
-      ++removed;
-    } else {
-      kept.AppendRow(rel->Row(r));
+    if (!(sensitivities[r] > threshold)) {
+      kept_rows.push_back(static_cast<uint32_t>(r));
     }
   }
+  const size_t removed = rel->NumRows() - kept_rows.size();
+  Relation kept(rel->name(), rel->column_names());
+  kept.AppendRowsFrom(*rel, kept_rows);
   *rel = std::move(kept);
   op.set_rows_out(rel->NumRows());
   return removed;
@@ -69,20 +74,22 @@ StatusOr<size_t> TruncateByFrequency(Database& db, const std::string& relation,
   OpTimer op(ResolveExecContext(ctx), "dp.truncate_by_frequency",
              rel->NumRows());
   auto freq = KeyFrequencies(*rel, key_cols);
-  Relation kept(rel->name(), rel->column_names());
-  kept.Reserve(rel->NumRows());
-  size_t removed = 0;
+  std::vector<std::span<const Value>> cols(key_cols.size());
+  for (size_t j = 0; j < key_cols.size(); ++j) {
+    cols[j] = rel->Column(static_cast<size_t>(key_cols[j]));
+  }
+  std::vector<uint32_t> kept_rows;
+  kept_rows.reserve(rel->NumRows());
   std::vector<Value> key(key_cols.size());
   for (size_t r = 0; r < rel->NumRows(); ++r) {
-    for (size_t j = 0; j < key_cols.size(); ++j) {
-      key[j] = rel->At(r, static_cast<size_t>(key_cols[j]));
-    }
-    if (freq[key] > threshold) {
-      ++removed;
-    } else {
-      kept.AppendRow(rel->Row(r));
+    for (size_t j = 0; j < key_cols.size(); ++j) key[j] = cols[j][r];
+    if (freq[key] <= threshold) {
+      kept_rows.push_back(static_cast<uint32_t>(r));
     }
   }
+  const size_t removed = rel->NumRows() - kept_rows.size();
+  Relation kept(rel->name(), rel->column_names());
+  kept.AppendRowsFrom(*rel, kept_rows);
   *rel = std::move(kept);
   op.set_rows_out(rel->NumRows());
   return removed;

@@ -33,6 +33,21 @@ void CountedRelation::AppendRow(std::span<const Value> row, Count count) {
   normalized_ = false;
 }
 
+std::span<Value> CountedRelation::AppendRowsRaw(size_t n, Count count) {
+  const size_t old = data_.size();
+  data_.resize(old + n * arity());
+  counts_.resize(counts_.size() + n, count);
+  normalized_ = false;
+  return {data_.data() + old, n * arity()};
+}
+
+void CountedRelation::GatherColumn(int col, std::span<Value> out) const {
+  LSENS_CHECK(out.size() == NumRows());
+  const size_t k = arity();
+  const Value* src = data_.data() + static_cast<size_t>(col);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = src[i * k];
+}
+
 void CountedRelation::AppendRows(const CountedRelation& other) {
   LSENS_CHECK_MSG(other.attrs_ == attrs_,
                   "AppendRows requires identical attribute sets");

@@ -61,6 +61,16 @@ class CountedRelation {
   // Used to concatenate the per-partition outputs of parallel joins before
   // the single Normalize; does not touch either default_count.
   void AppendRows(const CountedRelation& other);
+  // Appends `n` zero-initialized rows, every one carrying `count`, and
+  // returns the new rows' row-major storage for the caller to fill —
+  // column-at-a-time producers (ScanAtom) write each source column with
+  // one strided pass instead of materializing row tuples. The relation is
+  // not normalized until the caller says so.
+  std::span<Value> AppendRowsRaw(size_t n, Count count);
+  // Copies column `col` of every row into `out` (sized to NumRows()): the
+  // strided-gather bridge from row-major storage to the column-batch hash
+  // fold (HashValuesBatchFold in storage/value.h).
+  void GatherColumn(int col, std::span<Value> out) const;
   void Reserve(size_t rows) {
     data_.reserve(rows * arity());
     counts_.reserve(rows);

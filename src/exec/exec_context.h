@@ -79,6 +79,11 @@ class ExecContext {
   std::vector<int>& col_buf() { return col_buf_; }
   std::vector<SortKeyRef>& sort_keys() { return sort_keys_; }
   std::vector<SortKeyRef>& sort_keys_tmp() { return sort_keys_tmp_; }
+  std::vector<SortKey64>& sort_keys64() { return sort_keys64_; }
+  std::vector<SortKey64>& sort_keys64_tmp() { return sort_keys64_tmp_; }
+  std::vector<uint32_t>& sel_buf() { return sel_buf_; }
+  std::vector<uint64_t>& hash_buf() { return hash_buf_; }
+  std::vector<Value>& gather_buf() { return gather_buf_; }
   FlatGroupTable& group_table() { return group_table_; }
 
   // --- Stats -------------------------------------------------------------
@@ -115,6 +120,11 @@ class ExecContext {
   std::vector<int> col_buf_;
   std::vector<SortKeyRef> sort_keys_;
   std::vector<SortKeyRef> sort_keys_tmp_;
+  std::vector<SortKey64> sort_keys64_;
+  std::vector<SortKey64> sort_keys64_tmp_;
+  std::vector<uint32_t> sel_buf_;
+  std::vector<uint64_t> hash_buf_;
+  std::vector<Value> gather_buf_;
   FlatGroupTable group_table_;
   std::vector<OperatorStats> stats_;  // small: one entry per operator kind
   bool is_pool_worker_ = false;

@@ -12,6 +12,19 @@ uint64_t HashRowKey(std::span<const Value> row, std::span<const int> cols) {
   return h;
 }
 
+void HashRowKeysBatch(const CountedRelation& rel, std::span<const int> cols,
+                      std::vector<Value>& gather,
+                      std::vector<uint64_t>& hashes) {
+  const size_t n = rel.NumRows();
+  hashes.resize(n);
+  HashValuesBatchSeed(hashes);
+  gather.resize(n);
+  for (int c : cols) {
+    rel.GatherColumn(c, gather);
+    HashValuesBatchFold(gather, hashes);
+  }
+}
+
 namespace {
 
 bool KeysMatch(std::span<const Value> ra, std::span<const int> ca,
@@ -42,10 +55,14 @@ void FlatGroupTable::Build(const CountedRelation& rel,
   rows_.resize(n);
   num_groups_ = 0;
 
+  // Key hashes for the whole build side in one column-batch pass; the
+  // insertion loop below then touches row data only to verify colliding
+  // keys.
+  HashRowKeysBatch(rel, key_cols_, gather_, hashes_);
+
   // Pass 1: count group sizes, linear-probing each row's key.
   for (size_t i = 0; i < n; ++i) {
-    std::span<const Value> row = rel.Row(i);
-    const uint64_t h = HashRowKey(row, key_cols_);
+    const uint64_t h = hashes_[i];
     FlatProbeSeq seq(h, mask_);
     for (;;) {
       Slot& slot = slots_[seq.idx];
@@ -57,7 +74,7 @@ void FlatGroupTable::Build(const CountedRelation& rel,
         break;
       }
       if (slot.hash == h &&
-          KeysMatch(rel.Row(slot.rep), key_cols_, row, key_cols_)) {
+          KeysMatch(rel.Row(slot.rep), key_cols_, rel.Row(i), key_cols_)) {
         ++slot.size;
         break;
       }
@@ -82,12 +99,17 @@ void FlatGroupTable::Build(const CountedRelation& rel,
 
 std::span<const uint32_t> FlatGroupTable::Probe(
     std::span<const Value> row, std::span<const int> probe_cols) const {
-  const uint64_t h = HashRowKey(row, probe_cols);
-  FlatProbeSeq seq(h, mask_);
+  return Probe(row, probe_cols, HashRowKey(row, probe_cols));
+}
+
+std::span<const uint32_t> FlatGroupTable::Probe(std::span<const Value> row,
+                                                std::span<const int> probe_cols,
+                                                uint64_t hash) const {
+  FlatProbeSeq seq(hash, mask_);
   for (;;) {
     const Slot& slot = slots_[seq.idx];
     if (slot.size == 0) return {};
-    if (slot.hash == h &&
+    if (slot.hash == hash &&
         KeysMatch(rel_->Row(slot.rep), key_cols_, row, probe_cols)) {
       return {rows_.data() + slot.begin, slot.size};
     }

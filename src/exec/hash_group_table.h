@@ -12,6 +12,16 @@ namespace lsens {
 // Mixes the values of `cols` of one row into a 64-bit key hash.
 uint64_t HashRowKey(std::span<const Value> row, std::span<const int> cols);
 
+// Key hashes for every row of `rel` at once: gathers each key column into
+// `gather` (one strided pass per column) and folds it over the whole batch
+// with HashValuesBatchFold, so the inner loop runs over two contiguous
+// arrays. hashes[i] == HashRowKey(rel.Row(i), cols) — the batch and scalar
+// forms are interchangeable, which is what lets a build side hash its keys
+// in bulk while a single-row probe hashes on the fly.
+void HashRowKeysBatch(const CountedRelation& rel, std::span<const int> cols,
+                      std::vector<Value>& gather,
+                      std::vector<uint64_t>& hashes);
+
 // Flat open-addressing group table over the key columns of a
 // CountedRelation: the hash-join build side, semijoin filter, and join-size
 // estimator all sit on top of it.
@@ -32,7 +42,8 @@ class FlatGroupTable {
  public:
   FlatGroupTable() = default;
 
-  // Indexes `rel` by the given key columns.
+  // Indexes `rel` by the given key columns. Key hashes are computed in one
+  // column-batch pass (HashRowKeysBatch) before the bucket insertion loop.
   void Build(const CountedRelation& rel, std::span<const int> key_cols);
 
   // The run of build-side row indices whose key equals `row`'s values on
@@ -40,6 +51,13 @@ class FlatGroupTable {
   // same arity as the build key). Empty span when no group matches.
   std::span<const uint32_t> Probe(std::span<const Value> row,
                                   std::span<const int> probe_cols) const;
+
+  // Probe with a precomputed key hash (HashRowKey(row, probe_cols), or the
+  // batch equivalent) — join kernels hash a probe side once and reuse the
+  // hashes across the estimate and emit passes.
+  std::span<const uint32_t> Probe(std::span<const Value> row,
+                                  std::span<const int> probe_cols,
+                                  uint64_t hash) const;
 
   size_t num_groups() const { return num_groups_; }
   size_t num_rows() const { return rows_.size(); }
@@ -56,6 +74,8 @@ class FlatGroupTable {
   std::vector<Slot> slots_;      // bucket array, power-of-two sized
   std::vector<uint32_t> rows_;   // group-run row-index array
   std::vector<uint32_t> row_slot_;  // build scratch: row -> slot index
+  std::vector<uint64_t> hashes_;    // build scratch: per-row key hashes
+  std::vector<Value> gather_;       // build scratch: one key column
   const CountedRelation* rel_ = nullptr;
   std::vector<int> key_cols_;
   uint64_t mask_ = 0;

@@ -78,13 +78,17 @@ CountedRelation JoinWithDefault(const CountedRelation& a,
   b_all_cols.resize(b.arity());
   for (size_t c = 0; c < b.arity(); ++c) b_all_cols[c] = static_cast<int>(c);
   table.Build(b, b_all_cols);
+  // The probe side's key hashes in one column-batch pass, reused per row.
+  std::vector<uint64_t>& probe_hashes = ctx.hash_buf();
+  HashRowKeysBatch(a, layout.a_key_cols, ctx.gather_buf(), probe_hashes);
 
   CountedRelation out(layout.out_attrs);
   out.Reserve(a.NumRows());
   for (size_t i = 0; i < a.NumRows(); ++i) {
     std::span<const Value> row = a.Row(i);
     Count multiplier = Count::Zero();
-    std::span<const uint32_t> run = table.Probe(row, layout.a_key_cols);
+    std::span<const uint32_t> run =
+        table.Probe(row, layout.a_key_cols, probe_hashes[i]);
     if (run.empty()) {
       multiplier = b.default_count();
     } else {
@@ -136,10 +140,14 @@ CountedRelation CrossProduct(const CountedRelation& a,
 // emitted multiset is exactly the serial one and Count addition is
 // associative and commutative (saturating), so the normalized output — and
 // the one recorded "join.hash" stats row — is bit-identical to serial.
+//
+// `probe_hashes` holds the probe side's precomputed key hashes (the
+// estimate pass already batch-hashed them; workers read the shared array).
 CountedRelation HashJoin(const CountedRelation& a, const CountedRelation& b,
                          const JoinLayout& layout, const FlatGroupTable& table,
-                         bool build_a, size_t est_rows, ExecContext& ctx,
-                         int threads) {
+                         bool build_a, size_t est_rows,
+                         std::span<const uint64_t> probe_hashes,
+                         ExecContext& ctx, int threads) {
   const CountedRelation& build = build_a ? a : b;
   const CountedRelation& probe = build_a ? b : a;
   const std::vector<int>& probe_cols =
@@ -154,7 +162,7 @@ CountedRelation HashJoin(const CountedRelation& a, const CountedRelation& b,
     scratch.resize(layout.out_src.size());
     for (size_t j = begin; j < end; ++j) {
       std::span<const Value> pr = probe.Row(j);
-      for (uint32_t i : table.Probe(pr, probe_cols)) {
+      for (uint32_t i : table.Probe(pr, probe_cols, probe_hashes[j])) {
         std::span<const Value> br = build.Row(i);
         std::span<const Value> ra = build_a ? br : pr;
         std::span<const Value> rb = build_a ? pr : br;
@@ -253,7 +261,8 @@ CountedRelation SortMergeJoin(const CountedRelation& a,
 // partial sums are added in chunk order, so the total is exact and
 // deterministic either way.
 size_t ProbeTotalRows(const FlatGroupTable& table, const CountedRelation& probe,
-                      std::span<const int> probe_cols, ExecContext& ctx,
+                      std::span<const int> probe_cols,
+                      std::span<const uint64_t> probe_hashes, ExecContext& ctx,
                       int threads) {
   const size_t n = probe.NumRows();
   if (ShouldRunParallel(threads, n) && n >= kParallelProbeMinRows) {
@@ -264,7 +273,7 @@ size_t ProbeTotalRows(const FlatGroupTable& table, const CountedRelation& probe,
       const size_t end = (p + 1) * n / parts;
       size_t sum = 0;
       for (size_t j = begin; j < end; ++j) {
-        sum += table.Probe(probe.Row(j), probe_cols).size();
+        sum += table.Probe(probe.Row(j), probe_cols, probe_hashes[j]).size();
       }
       partial[p] = sum;
     });
@@ -274,7 +283,7 @@ size_t ProbeTotalRows(const FlatGroupTable& table, const CountedRelation& probe,
   }
   size_t total = 0;
   for (size_t j = 0; j < n; ++j) {
-    total += table.Probe(probe.Row(j), probe_cols).size();
+    total += table.Probe(probe.Row(j), probe_cols, probe_hashes[j]).size();
   }
   return total;
 }
@@ -348,12 +357,17 @@ CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
   const std::vector<int>& probe_cols =
       build_a ? layout.b_key_cols : layout.a_key_cols;
   FlatGroupTable& table = ctx.group_table();
+  // One column-batch pass hashes the probe side's keys; the estimate's
+  // ProbeTotalRows and the hash kernel's emit loop both reuse them.
+  std::vector<uint64_t>& probe_hashes = ctx.hash_buf();
   size_t est_rows = 0;
   {
     OpTimer op(ctx, "estimate_join_rows", a.NumRows() + b.NumRows());
     op.set_build_rows(build.NumRows());
     table.Build(build, build_cols);
-    est_rows = ProbeTotalRows(table, probe, probe_cols, ctx, options.threads);
+    HashRowKeysBatch(probe, probe_cols, ctx.gather_buf(), probe_hashes);
+    est_rows = ProbeTotalRows(table, probe, probe_cols, probe_hashes, ctx,
+                              options.threads);
     op.set_rows_out(est_rows);
   }
 
@@ -365,7 +379,7 @@ CountedRelation NaturalJoin(const CountedRelation& a, const CountedRelation& b,
       return SortMergeJoin(a, b, layout, est_rows, ctx);
     }
   }
-  return HashJoin(a, b, layout, table, build_a, est_rows, ctx,
+  return HashJoin(a, b, layout, table, build_a, est_rows, probe_hashes, ctx,
                   options.threads);
 }
 
@@ -400,8 +414,11 @@ size_t EstimateJoinRows(const CountedRelation& a, const CountedRelation& b,
   FlatGroupTable& table = ctx.group_table();
   op.set_build_rows(build.NumRows());
   table.Build(build, build_a ? a_cols : b_cols);
+  std::vector<uint64_t>& probe_hashes = ctx.hash_buf();
+  HashRowKeysBatch(probe, build_a ? b_cols : a_cols, ctx.gather_buf(),
+                   probe_hashes);
   const size_t total = ProbeTotalRows(table, probe, build_a ? b_cols : a_cols,
-                                      ctx, threads);
+                                      probe_hashes, ctx, threads);
   op.set_rows_out(total);
   return total;
 }

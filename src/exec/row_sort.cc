@@ -42,6 +42,59 @@ void RadixSortKeys(std::vector<SortKeyRef>& keys, std::vector<SortKeyRef>& tmp,
   }
 }
 
+// Same stable LSD radix, specialized to the fixed-width 64-bit single-key
+// element: half the element size of SortKeyRef, identical ordering (the
+// wide path zero-fills its low 64 bits for one-column sorts, so both walk
+// the same varying bytes and break ties by idx the same way).
+void RadixSortKeys64(std::vector<SortKey64>& keys, std::vector<SortKey64>& tmp,
+                     uint64_t varying) {
+  tmp.resize(keys.size());
+  for (int b = 0; b < 8; ++b) {
+    const int shift = 8 * b;
+    if (((varying >> shift) & 0xff) == 0) continue;
+    size_t count[256] = {};
+    for (const SortKey64& k : keys) {
+      ++count[static_cast<size_t>((k.key >> shift) & 0xff)];
+    }
+    size_t pos[256];
+    size_t run = 0;
+    for (int i = 0; i < 256; ++i) {
+      pos[i] = run;
+      run += count[i];
+    }
+    for (const SortKey64& k : keys) {
+      tmp[pos[static_cast<size_t>((k.key >> shift) & 0xff)]++] = k;
+    }
+    keys.swap(tmp);
+  }
+}
+
+// Single-key-column sort: fills `perm` ordered by column c0, ties by row
+// index. Produces exactly the permutation the 128-bit path would (stable
+// sort of the same key sequence), just through narrower elements.
+void SortRowsBySingle(const CountedRelation& r, int c0,
+                      std::vector<uint32_t>& perm, ExecContext& ctx) {
+  const size_t n = r.NumRows();
+  std::vector<SortKey64>& keys = ctx.sort_keys64();
+  keys.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i].key = OrderedBits(r.Row(i)[static_cast<size_t>(c0)]);
+    keys[i].idx = static_cast<uint32_t>(i);
+  }
+  uint64_t varying = 0;
+  for (const SortKey64& k : keys) varying |= k.key ^ keys[0].key;
+  if (n >= 256) {
+    RadixSortKeys64(keys, ctx.sort_keys64_tmp(), varying);
+  } else {
+    std::sort(keys.begin(), keys.end(),
+              [](const SortKey64& x, const SortKey64& y) {
+                if (x.key != y.key) return x.key < y.key;
+                return x.idx < y.idx;
+              });
+  }
+  for (size_t i = 0; i < n; ++i) perm[i] = keys[i].idx;
+}
+
 }  // namespace
 
 bool RowsSortedBy(const CountedRelation& r, std::span<const int> cols) {
@@ -57,6 +110,12 @@ bool SortRowsBy(const CountedRelation& r, std::span<const int> cols,
   perm.resize(n);
   std::iota(perm.begin(), perm.end(), 0);
   if (cols.empty() || RowsSortedBy(r, cols)) return true;
+
+  // One key column: the fixed-width 64-bit specialization.
+  if (cols.size() == 1) {
+    SortRowsBySingle(r, cols[0], perm, ctx);
+    return false;
+  }
 
   // The first two key columns ride inline in a 128-bit key (sign-flipped
   // so unsigned comparison preserves int64 order); row data is only

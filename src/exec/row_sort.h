@@ -27,6 +27,15 @@ struct SortKeyRef {
   uint32_t idx;
 };
 
+// Fixed-width element of the single-key-column specialization: the one key
+// value sign-flipped into a uint64, plus the row index. Half the footprint
+// of SortKeyRef, so the radix passes of the overwhelmingly common
+// one-column sort (join keys, group-by drivers) move half the bytes.
+struct SortKey64 {
+  uint64_t key;
+  uint32_t idx;
+};
+
 // Lexicographic comparison of two rows restricted to `cols` (column
 // positions into each row; both rows use the same routing).
 inline int CompareRowsAt(std::span<const Value> a, std::span<const Value> b,

@@ -9,13 +9,13 @@
 namespace lsens {
 
 CountedRelation ScanAtom(const Relation& rel, const Atom& atom,
-                         const AttributeSet& keep, ExecContext* ctx) {
+                         const AttributeSet& keep, ExecContext* ctx_in) {
   LSENS_CHECK(atom.vars.size() == rel.arity());
   LSENS_CHECK_MSG(IsSubset(keep, atom.VarSet()),
                   "projection must keep a subset of the atom's variables");
   // Column positions: keep[j] lives at rel column keep_cols[j]; predicates
-  // evaluate against pred_cols[p]. Resolving them here keeps the per-row
-  // loop free of invariant checks.
+  // evaluate against pred_cols[p]. Resolving them here keeps the per-column
+  // loops free of invariant checks.
   std::vector<size_t> keep_cols(keep.size());
   for (size_t j = 0; j < keep.size(); ++j) {
     size_t col = 0;
@@ -29,20 +29,53 @@ CountedRelation ScanAtom(const Relation& rel, const Atom& atom,
     pred_cols[p] = col;
   }
 
-  CountedRelation out(keep);
-  out.Reserve(rel.NumRows());
-  std::vector<Value> projected(keep.size());
-  for (size_t i = 0; i < rel.NumRows(); ++i) {
-    std::span<const Value> row = rel.Row(i);
-    bool pass = true;
-    for (size_t p = 0; p < atom.predicates.size() && pass; ++p) {
-      pass = atom.predicates[p].Eval(row[pred_cols[p]]);
+  ExecContext& ctx = ResolveExecContext(ctx_in);
+  const size_t n = rel.NumRows();
+
+  // Selection runs column-at-a-time: the first predicate scans its column
+  // and collects passing row indices, each further predicate compacts the
+  // survivor list against its own column. No row tuple is materialized.
+  std::vector<uint32_t>& sel = ctx.sel_buf();
+  const bool all_rows = atom.predicates.empty();
+  size_t n_sel = n;
+  if (!all_rows) {
+    sel.clear();
+    sel.reserve(n);
+    {
+      std::span<const Value> col = rel.Column(pred_cols[0]);
+      const Predicate& pred = atom.predicates[0];
+      for (size_t i = 0; i < n; ++i) {
+        if (pred.Eval(col[i])) sel.push_back(static_cast<uint32_t>(i));
+      }
     }
-    if (!pass) continue;
-    for (size_t j = 0; j < keep.size(); ++j) projected[j] = row[keep_cols[j]];
-    out.AppendRow(projected, Count::One());
+    for (size_t p = 1; p < atom.predicates.size(); ++p) {
+      std::span<const Value> col = rel.Column(pred_cols[p]);
+      const Predicate& pred = atom.predicates[p];
+      size_t write = 0;
+      for (uint32_t idx : sel) {
+        if (pred.Eval(col[idx])) sel[write++] = idx;
+      }
+      sel.resize(write);
+    }
+    n_sel = sel.size();
   }
-  out.Normalize(ctx);
+
+  // Projection fills the output column by column: one contiguous (or
+  // selection-gathered) read of each kept source column, scattered into
+  // the row-major CountedRelation at stride k.
+  CountedRelation out(keep);
+  const size_t k = keep.size();
+  std::span<Value> dst = out.AppendRowsRaw(n_sel, Count::One());
+  for (size_t j = 0; j < k; ++j) {
+    std::span<const Value> col = rel.Column(keep_cols[j]);
+    Value* d = dst.data() + j;
+    if (all_rows) {
+      for (size_t i = 0; i < n_sel; ++i) d[i * k] = col[i];
+    } else {
+      for (size_t i = 0; i < n_sel; ++i) d[i * k] = col[sel[i]];
+    }
+  }
+  out.Normalize(&ctx);
   return out;
 }
 

@@ -1319,34 +1319,25 @@ void SensitivityCache::SyncStore(Database& db, int threads,
   uint64_t nodes_patched = 0;
 
   // Stage 1 — sources: apply the row-level deltas, collecting the touched
-  // keys. Sharded path: the change log is partitioned by projected-key
-  // hash (per-key order preserved inside a shard), predicate filtering and
-  // key projection run per shard on the pool, and the Adjust calls apply
-  // serially shard by shard — per-key adjustment sequences (and thus the
-  // final table and any underflow poisoning) match the serial path.
-  struct ProjectedChange {
-    std::vector<Value> key;
-    bool insert = true;
-  };
-  std::vector<RowChange> changes;
-  std::vector<std::vector<RowChange>> shard_changes;
-  std::vector<std::vector<ProjectedChange>> shard_keys;
+  // keys. The change log is filtered, projected onto each source's key
+  // columns, and partitioned by projected-key hash in one walk
+  // (Relation::CollectProjectedChangesShardedSince) — only the key columns
+  // of passing changes are copied, never whole rows. Per-key order is
+  // preserved inside a shard and the Adjust calls apply serially shard by
+  // shard, so per-key adjustment sequences (and thus the final table and
+  // any underflow poisoning) match a serial single-shard walk exactly.
+  std::vector<std::vector<ProjectedRowChange>> shard_keys;
   for (SharedNode* src : pending) {
     const Relation* rel = db.Find(src->relation);
     LSENS_CHECK(rel != nullptr);  // the pre-pass just found it
-    auto filter_project = [&](const RowChange& ch,
-                              std::vector<ProjectedChange>* out) {
+    auto filter = [&](const RowChange& ch) {
       for (const auto& [col, pred] : src->preds) {
-        if (!pred.Eval(ch.row[col])) return;
+        if (!pred.Eval(ch.row[col])) return false;
       }
-      ProjectedChange pc;
-      pc.insert = ch.insert;
-      pc.key.reserve(src->keep_cols.size());
-      for (size_t col : src->keep_cols) pc.key.push_back(ch.row[col]);
-      out->push_back(std::move(pc));
+      return true;
     };
-    auto apply_shard = [&](std::vector<ProjectedChange>& shard) {
-      for (ProjectedChange& pc : shard) {
+    auto apply_shard = [&](std::vector<ProjectedRowChange>& shard) {
+      for (ProjectedRowChange& pc : shard) {
         if (!src->table.Adjust(pc.key, Count::One(), pc.insert)) {
           return false;
         }
@@ -1354,29 +1345,19 @@ void SensitivityCache::SyncStore(Database& db, int threads,
       }
       return true;
     };
+    const size_t src_shards =
+        (num_shards > 1 && rel->NumChangesSince(src->version) > kShardMinWork)
+            ? num_shards
+            : 1;
+    shard_keys.assign(src_shards, {});
+    size_t num_changes = 0;
+    LSENS_CHECK(rel->CollectProjectedChangesShardedSince(
+        src->version, src->keep_cols, src_shards, filter, &shard_keys,
+        &num_changes));
+    delta_rows += num_changes;
     bool ok = true;
-    if (num_shards > 1 &&
-        rel->NumChangesSince(src->version) > kShardMinWork) {
-      shard_changes.assign(num_shards, {});
-      shard_keys.assign(num_shards, {});
-      LSENS_CHECK(rel->CollectChangesShardedSince(
-          src->version, src->keep_cols, num_shards, &shard_changes));
-      ParallelApply(ctx, threads, num_shards, [&](size_t s, ExecContext&) {
-        for (const RowChange& ch : shard_changes[s]) {
-          filter_project(ch, &shard_keys[s]);
-        }
-      });
-      for (size_t s = 0; s < num_shards && ok; ++s) {
-        delta_rows += shard_changes[s].size();
-        ok = apply_shard(shard_keys[s]);
-      }
-    } else {
-      changes.clear();
-      LSENS_CHECK(rel->CollectChangesSince(src->version, &changes));
-      delta_rows += changes.size();
-      std::vector<ProjectedChange> projected;
-      for (const RowChange& ch : changes) filter_project(ch, &projected);
-      ok = apply_shard(projected);
+    for (size_t s = 0; s < src_shards && ok; ++s) {
+      ok = apply_shard(shard_keys[s]);
     }
     if (!ok) {
       // Inexact adjustment (saturation / stale log): the table is poisoned

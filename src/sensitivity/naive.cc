@@ -46,7 +46,7 @@ std::vector<Value> RepresentativeDomain(const ConjunctiveQuery& q,
     const Relation* rel = db.Find(other.relation);
     LSENS_CHECK(rel != nullptr);
     std::set<Value> active;
-    for (size_t r = 0; r < rel->NumRows(); ++r) active.insert(rel->At(r, col));
+    for (Value v : rel->Column(col)) active.insert(v);
     if (first) {
       domain.assign(active.begin(), active.end());
       first = false;
@@ -101,17 +101,15 @@ StatusOr<NaiveResult> NaiveLocalSensitivity(const ConjunctiveQuery& q,
     // Downward: delete one copy of each distinct existing tuple.
     std::set<std::vector<Value>> distinct;
     for (size_t r = 0; r < rel->NumRows(); ++r) {
-      auto row = rel->Row(r);
-      distinct.insert(std::vector<Value>(row.begin(), row.end()));
+      distinct.insert(rel->Row(r));
     }
     for (const auto& tuple : distinct) {
-      // Find one occurrence, remove it, evaluate, restore. The arity check
-      // is hoisted out of the O(n) position scan (every row of `distinct`
-      // came from `rel`, so one assert covers the whole scan).
-      LSENS_CHECK(tuple.size() == rel->arity());
+      // Find one occurrence, remove it, evaluate, restore. RowEquals
+      // compares in place against the column vectors — the position scan
+      // materializes no rows.
       size_t pos = SIZE_MAX;
       for (size_t r = 0; r < rel->NumRows(); ++r) {
-        if (CompareRowsUnchecked(rel->Row(r), tuple) == 0) {
+        if (rel->RowEquals(r, tuple)) {
           pos = r;
           break;
         }
@@ -189,10 +187,10 @@ StatusOr<Count> NaiveTupleSensitivity(const ConjunctiveQuery& q, Database& db,
   if (!up_or.ok()) return up_or.status();
   Count delta = AbsDiff(*base_or, *up_or);
 
-  // Downward (only if present). The arity-mismatch guard above already
-  // covers the scan, so the per-row comparison runs unchecked.
+  // Downward (only if present). RowEquals compares the tuple against the
+  // column vectors in place — no row materialization in the scan.
   for (size_t r = 0; r < rel->NumRows(); ++r) {
-    if (CompareRowsUnchecked(rel->Row(r), tuple) == 0) {
+    if (rel->RowEquals(r, tuple)) {
       std::vector<Value> saved(tuple.begin(), tuple.end());
       rel->SwapRemoveRow(r);
       auto down_or = Eval(q, db, options);

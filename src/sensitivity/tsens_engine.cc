@@ -406,21 +406,28 @@ StatusOr<std::vector<Count>> TupleSensitivities(const SensitivityResult& result,
 
   // Per-tuple δ lookups are independent reads of the (normalized, hence
   // immutable) multiplicity table; each row writes only its own slot, so
-  // the chunked fan-out below returns the exact serial vector.
+  // the chunked fan-out below returns the exact serial vector. The scan
+  // reads the relation's key and predicate columns directly — resolved to
+  // column spans once here — instead of materializing row tuples.
   ExecContext& ctx = ResolveExecContext(options.join.ctx);
   OpTimer op(ctx, "tsens.tuple_sens", rel.NumRows());
   const size_t n = rel.NumRows();
+  std::vector<std::span<const Value>> key_spans(cols.size());
+  for (size_t j = 0; j < cols.size(); ++j) key_spans[j] = rel.Column(cols[j]);
+  std::vector<std::span<const Value>> pred_spans(pred_cols.size());
+  for (size_t p = 0; p < pred_cols.size(); ++p) {
+    pred_spans[p] = rel.Column(pred_cols[p]);
+  }
   std::vector<Count> out(n, Count::Zero());
   auto lookup_range = [&](size_t begin, size_t end) {
     std::vector<Value> key(cols.size());
     for (size_t i = begin; i < end; ++i) {
-      std::span<const Value> row = rel.Row(i);
       bool pass = true;
       for (size_t p = 0; p < atom.predicates.size() && pass; ++p) {
-        pass = atom.predicates[p].Eval(row[pred_cols[p]]);
+        pass = atom.predicates[p].Eval(pred_spans[p][i]);
       }
       if (!pass) continue;
-      for (size_t j = 0; j < cols.size(); ++j) key[j] = row[cols[j]];
+      for (size_t j = 0; j < cols.size(); ++j) key[j] = key_spans[j][i];
       out[i] = as.table->Lookup(key);
     }
   };

@@ -109,7 +109,10 @@ SensitivityServer::SensitivityServer(Database db, ServingConfig config)
       cache_(config_.cache) {
   auto first = std::make_shared<internal::Epoch>();
   first->id = ++epoch_counter_;
-  first->db = master_.CloneSnapshot();
+  {
+    std::lock_guard<std::mutex> lock(dict_mu_);
+    first->db = master_.CloneSnapshot();
+  }
   first->versions = first->db.VersionVector();
   first->bytes = first->db.MemoryBytes();
   {
@@ -158,6 +161,11 @@ Status SensitivityServer::SubmitDelta(DatabaseDelta delta) {
   queue_.push_back(std::move(delta));
   queue_cv_.notify_one();
   return Status::OK();
+}
+
+Value SensitivityServer::InternValue(std::string_view s) {
+  std::lock_guard<std::mutex> lock(dict_mu_);
+  return master_.dict().Intern(s);
 }
 
 std::unique_ptr<ServerSession> SensitivityServer::OpenSession(
@@ -236,7 +244,10 @@ bool SensitivityServer::DoTurn() {
     // same error from their own cold compute.
     if (result.ok()) next->warm.emplace(reg.key, *std::move(result));
   }
-  next->db = master_.CloneSnapshot();
+  {
+    std::lock_guard<std::mutex> lock(dict_mu_);
+    next->db = master_.CloneSnapshot();
+  }
   next->versions = next->db.VersionVector();
   next->bytes = next->db.MemoryBytes();
 

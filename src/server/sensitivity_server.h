@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -187,6 +188,16 @@ class SensitivityServer {
   // Shutdown() (the queue no longer drains).
   Status SubmitDelta(DatabaseDelta delta);
 
+  // Interns `s` in the master database's value dictionary and returns its
+  // code — the door through which delta producers mint codes for string
+  // values before submitting them. Safe from any thread: interning is
+  // append-only (codes are stable), and the same lock spans the snapshot
+  // clone inside a turn, so an epoch never copies a half-built dictionary.
+  // Epochs published before this call simply do not contain the new code:
+  // their ContainsValue range check answers false (no mis-decode), and the
+  // next published epoch renders it.
+  Value InternValue(std::string_view s);
+
   // Manual mode only: coalesces the queued batches (up to the admission
   // cap) and publishes the next epoch. Returns true when an epoch was
   // published; false when nothing applied (current epoch untouched).
@@ -231,10 +242,14 @@ class SensitivityServer {
 
   // Writer-owned state: the master database, the shared cache repaired
   // against it, and the writer's stats context. Only the writer thread (or
-  // the owner, in manual mode / the constructor) touches these.
+  // the owner, in manual mode / the constructor) touches these — except
+  // the master's dictionary, which InternValue may append to from any
+  // thread under dict_mu_; the snapshot clone in a turn holds the same
+  // lock so no epoch copies a dictionary mid-append.
   Database master_;
   SensitivityCache cache_;
   ExecContext writer_ctx_;
+  std::mutex dict_mu_;
 
   // Admission queue; guards the registered-query list too.
   mutable std::mutex queue_mu_;

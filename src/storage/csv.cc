@@ -117,12 +117,13 @@ Status LoadCsvText(Database& db, const std::string& relation,
   }
   Relation* rel = db.AddRelation(relation, header);
 
-  // Rows accumulate row-major into a flat buffer and flush in bulk via
-  // AppendRows — one reserve and one contiguous copy per batch instead of
-  // a per-row append. The batch size bounds the loader's extra memory.
-  constexpr size_t kFlushValues = size_t{1} << 16;
-  std::vector<Value> pending;
-  pending.reserve(std::min(kFlushValues, size_t{1} << 12));
+  // Cells parse straight into per-column buffers — the same shape as the
+  // relation's columnar storage — and the whole file lands with one
+  // AppendColumns call (one contiguous copy per column). String cells
+  // intern through the database dictionary; any column that interned at
+  // least one cell is marked dictionary-encoded in the catalog.
+  std::vector<std::vector<Value>> columns(header.size());
+  std::vector<bool> interned(header.size(), false);
   std::vector<std::string> cells;
   size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -140,20 +141,21 @@ Status LoadCsvText(Database& db, const std::string& relation,
         int64_t parsed = 0;
         if (!ParseInt64(cells[c], &parsed)) {
           return Status::InvalidArgument(
-              "line " + std::to_string(line_no) + ": integer literal '" +
+              "line " + std::to_string(line_no) + ", column " +
+              std::to_string(c) + " ('" + header[c] + "'): integer literal '" +
               cells[c] + "' out of int64 range");
         }
-        pending.push_back(static_cast<Value>(parsed));
+        columns[c].push_back(static_cast<Value>(parsed));
       } else {
-        pending.push_back(db.dict().Intern(cells[c]));
+        columns[c].push_back(db.dict().Intern(cells[c]));
+        interned[c] = true;
       }
     }
-    if (pending.size() >= kFlushValues) {
-      rel->AppendRows(pending);
-      pending.clear();
-    }
   }
-  rel->AppendRows(pending);
+  rel->AppendColumns(columns);
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (interned[c]) rel->set_column_dictionary(c, true);
+  }
   return Status::OK();
 }
 

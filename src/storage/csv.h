@@ -10,12 +10,16 @@
 namespace lsens {
 
 // Plain-CSV interchange for relations. Cells are either integers (stored
-// verbatim; literals outside int64 are rejected with the line number) or
-// arbitrary strings (interned through the database dictionary so joins
-// still run over flat int64 rows). Reading accepts RFC 4180 double-quoted
-// cells ("" escapes a quote, commas inside quotes are literal; embedded
-// line breaks are not supported and read as an unterminated quote error).
-// Writing still refuses values that would need quoting.
+// verbatim; literals outside int64 are rejected with the line number and
+// the offending column index/name) or arbitrary strings (interned through
+// the database dictionary so joins still run over flat int64 columns; the
+// touched columns are marked dictionary-encoded in the relation's
+// catalog). The loader parses straight into per-column buffers and lands
+// the file with one bulk columnar append. Reading accepts RFC 4180
+// double-quoted cells ("" escapes a quote, commas inside quotes are
+// literal; embedded line breaks are not supported and read as an
+// unterminated quote error). Writing still refuses values that would need
+// quoting.
 
 // Loads `path` into a new relation named `relation`. The first line is the
 // header (column names). Fails if the relation already exists.

@@ -104,7 +104,7 @@ size_t Database::TotalRows() const {
 }
 
 size_t Database::MemoryBytes() const {
-  size_t total = 0;
+  size_t total = dict_.MemoryBytes();
   for (const auto& name : names_) {
     total += relations_.find(name)->second->MemoryBytes();
   }

@@ -74,8 +74,9 @@ class Database {
 
   size_t TotalRows() const;
 
-  // Bytes held by every relation's rows and change logs (see
-  // Relation::MemoryBytes); the serving layer's epoch accounting.
+  // Bytes held by every relation's columns and change logs (see
+  // Relation::MemoryBytes) plus the value dictionary; the serving layer's
+  // epoch accounting.
   size_t MemoryBytes() const;
 
   // Every relation's (name, version) in insertion order — the identity of

@@ -24,4 +24,17 @@ const std::string& Dictionary::String(Value v) const {
   return strings_[static_cast<size_t>(v - kBase)];
 }
 
+size_t Dictionary::MemoryBytes() const {
+  // strings_ and values_ hold the same entries 1:1 (every string is stored
+  // twice — code order and reverse-index key), so the walk stays on the
+  // ordered view and only the bucket array is charged from the map itself.
+  size_t bytes = strings_.capacity() * sizeof(std::string);
+  bytes += values_.bucket_count() * sizeof(void*);
+  for (const std::string& s : strings_) {
+    bytes += 2 * s.capacity() + sizeof(std::string) + sizeof(Value) +
+             2 * sizeof(void*);
+  }
+  return bytes;
+}
+
 }  // namespace lsens

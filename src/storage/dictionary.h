@@ -19,6 +19,15 @@ namespace lsens {
 // data in the same column — ContainsValue() can then reliably distinguish
 // interned strings from raw numbers (the CSV layer depends on this when
 // rendering mixed columns).
+//
+// Codes are append-only and stable: interning never renumbers, so a deep
+// copy (Database::Clone/CloneSnapshot) stays coherent with its source — a
+// code interned *before* the copy decodes to the same string in both,
+// while a code interned afterwards is simply absent from the copy
+// (ContainsValue range-checks against the copy's own size and returns
+// false rather than mis-decoding). The serving layer relies on exactly
+// this: epoch snapshots render the codes their epoch knew, and a
+// post-publish intern becomes renderable with the next epoch.
 class Dictionary {
  public:
   static constexpr Value kBase = 1'000'000'000'000;
@@ -40,6 +49,10 @@ class Dictionary {
   }
 
   size_t size() const { return strings_.size(); }
+
+  // Bytes held by the interned strings and both index structures, for the
+  // same epoch/footprint accounting as Relation::MemoryBytes.
+  size_t MemoryBytes() const;
 
  private:
   // Heterogeneous hash/eq so Intern/Lookup probe with the string_view

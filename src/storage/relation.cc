@@ -8,12 +8,33 @@ namespace lsens {
 Relation::Relation(std::string name, std::vector<std::string> column_names)
     : name_(std::move(name)), column_names_(std::move(column_names)) {
   LSENS_CHECK_MSG(!column_names_.empty(), "relation needs >= 1 column");
+  cols_.resize(column_names_.size());
+  dict_cols_.assign(column_names_.size(), 0);
+}
+
+std::vector<Value> Relation::Row(size_t i) const {
+  std::vector<Value> row(arity());
+  for (size_t c = 0; c < cols_.size(); ++c) row[c] = cols_[c][i];
+  return row;
+}
+
+void Relation::RowInto(size_t i, std::vector<Value>* out) const {
+  out->resize(arity());
+  for (size_t c = 0; c < cols_.size(); ++c) (*out)[c] = cols_[c][i];
+}
+
+bool Relation::RowEquals(size_t i, std::span<const Value> row) const {
+  LSENS_CHECK(row.size() == arity());
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    if (cols_[c][i] != row[c]) return false;
+  }
+  return true;
 }
 
 void Relation::Set(size_t row, size_t col, Value v) {
   LSENS_CHECK(row < NumRows() && col < arity());
   if (log_enabled_) {
-    std::vector<Value> old(Row(row).begin(), Row(row).end());
+    std::vector<Value> old = Row(row);
     std::vector<Value> updated = old;
     updated[col] = v;
     LogChange(/*insert=*/false, old);
@@ -22,12 +43,12 @@ void Relation::Set(size_t row, size_t col, Value v) {
     // with the entry count so CollectChangesSince offsets line up.
     ++version_;
   }
-  data_[row * arity() + col] = v;
+  cols_[col][row] = v;
   ++version_;
 }
 
 void Relation::Clear() {
-  data_.clear();
+  for (auto& col : cols_) col.clear();
   ++version_;
   // The delta "everything erased" is exactly what the log exists to avoid
   // materializing; disable instead, so readers fall back to recompute.
@@ -38,12 +59,11 @@ void Relation::Clear() {
 void Relation::SwapRemoveRow(size_t i) {
   size_t n = NumRows();
   LSENS_CHECK(i < n);
-  size_t k = arity();
   if (log_enabled_) LogChange(/*insert=*/false, Row(i));
-  if (i != n - 1) {
-    std::copy_n(data_.begin() + (n - 1) * k, k, data_.begin() + i * k);
+  for (auto& col : cols_) {
+    col[i] = col[n - 1];
+    col.pop_back();
   }
-  data_.resize((n - 1) * k);
   ++version_;
 }
 
@@ -52,14 +72,56 @@ void Relation::AppendRows(std::span<const Value> rows_flat) {
   LSENS_CHECK(rows_flat.size() % k == 0);
   const size_t rows = rows_flat.size() / k;
   if (rows == 0) return;
-  data_.reserve(data_.size() + rows_flat.size());
   if (log_enabled_) {
     for (size_t i = 0; i < rows; ++i) {
       LogChange(/*insert=*/true, rows_flat.subspan(i * k, k));
     }
   }
-  data_.insert(data_.end(), rows_flat.begin(), rows_flat.end());
+  for (size_t c = 0; c < k; ++c) {
+    auto& col = cols_[c];
+    col.reserve(col.size() + rows);
+    for (size_t i = 0; i < rows; ++i) col.push_back(rows_flat[i * k + c]);
+  }
   version_ += rows;
+}
+
+void Relation::AppendColumns(std::span<const std::vector<Value>> columns) {
+  const size_t k = arity();
+  LSENS_CHECK(columns.size() == k);
+  const size_t rows = columns[0].size();
+  for (const auto& col : columns) LSENS_CHECK(col.size() == rows);
+  if (rows == 0) return;
+  if (log_enabled_) {
+    std::vector<Value> row(k);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t c = 0; c < k; ++c) row[c] = columns[c][i];
+      LogChange(/*insert=*/true, row);
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    cols_[c].insert(cols_[c].end(), columns[c].begin(), columns[c].end());
+  }
+  version_ += rows;
+}
+
+void Relation::AppendRowsFrom(const Relation& src,
+                              std::span<const uint32_t> rows) {
+  LSENS_CHECK(src.arity() == arity());
+  if (rows.empty()) return;
+  if (log_enabled_) {
+    std::vector<Value> row;
+    for (uint32_t r : rows) {
+      src.RowInto(r, &row);
+      LogChange(/*insert=*/true, row);
+    }
+  }
+  for (size_t c = 0; c < arity(); ++c) {
+    auto& dst = cols_[c];
+    const auto& from = src.cols_[c];
+    dst.reserve(dst.size() + rows.size());
+    for (uint32_t r : rows) dst.push_back(from[r]);
+  }
+  version_ += rows.size();
 }
 
 Status Relation::ValidateDelta(std::span<const std::vector<Value>> inserts,
@@ -119,7 +181,8 @@ void Relation::DisableChangeLog() {
 }
 
 size_t Relation::MemoryBytes() const {
-  size_t bytes = data_.capacity() * sizeof(Value);
+  size_t bytes = dict_cols_.capacity() * sizeof(uint8_t);
+  for (const auto& col : cols_) bytes += col.capacity() * sizeof(Value);
   for (const RowChange& change : log_) {
     bytes += sizeof(RowChange) + change.row.capacity() * sizeof(Value);
   }
@@ -167,6 +230,35 @@ bool Relation::CollectChangesShardedSince(
   return true;
 }
 
+bool Relation::CollectProjectedChangesShardedSince(
+    uint64_t since, std::span<const size_t> key_cols, size_t num_shards,
+    const std::function<bool(const RowChange&)>& filter,
+    std::vector<std::vector<ProjectedRowChange>>* shards,
+    size_t* num_changes) const {
+  LSENS_CHECK(num_shards > 0 && shards->size() >= num_shards);
+  if (!log_enabled_ || since < log_base_version_ || since > version_) {
+    return false;
+  }
+  LSENS_CHECK(version_ - log_base_version_ == log_.size());
+  const size_t begin = static_cast<size_t>(since - log_base_version_);
+  if (num_changes != nullptr) *num_changes = log_.size() - begin;
+  for (size_t i = begin; i < log_.size(); ++i) {
+    const RowChange& change = log_[i];
+    if (filter && !filter(change)) continue;
+    ProjectedRowChange pc;
+    pc.insert = change.insert;
+    pc.key.reserve(key_cols.size());
+    uint64_t h = kValueHashSeed;
+    for (size_t col : key_cols) {
+      const Value v = change.row[col];
+      pc.key.push_back(v);
+      h = HashValueFold(h, v);
+    }
+    (*shards)[static_cast<size_t>(h % num_shards)].push_back(std::move(pc));
+  }
+  return true;
+}
+
 size_t Relation::NumChangesSince(uint64_t since) const {
   if (!log_enabled_ || since < log_base_version_ || since > version_) {
     return SIZE_MAX;
@@ -183,7 +275,7 @@ int Relation::ColumnIndex(const std::string& column_name) const {
 
 bool Relation::IdenticalTo(const Relation& other) const {
   return name_ == other.name_ && column_names_ == other.column_names_ &&
-         data_ == other.data_;
+         cols_ == other.cols_;
 }
 
 }  // namespace lsens

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -22,13 +23,28 @@ struct RowChange {
   std::vector<Value> row;
 };
 
+// A logged mutation projected onto a key-column subset: what the delta
+// repair in sensitivity/incremental.cc actually consumes. Produced by
+// CollectProjectedChangesShardedSince, which copies only the key columns of
+// each passing change instead of slicing whole rows.
+struct ProjectedRowChange {
+  bool insert = true;
+  std::vector<Value> key;
+};
+
 // A base relation: named columns (by position; attribute binding happens in
-// the query's atoms) and flat row-major storage. Bag semantics: duplicate
-// rows are allowed and meaningful.
+// the query's atoms) and columnar storage. Bag semantics: duplicate rows
+// are allowed and meaningful.
 //
-// Storage is a single contiguous std::vector<Value>; row i occupies
-// [i*arity, (i+1)*arity). This keeps a 6M-row Lineitem at scale 1 within a
-// few hundred MB and makes index-sorts cache-friendly.
+// Storage is one contiguous std::vector<Value> per column; row i is the
+// i-th element of every column vector. Scans, hash builds, and change-log
+// projection read whole columns sequentially instead of striding across
+// row tuples, which is what the exec-layer kernels want; the row-level API
+// (Row/At/AppendRow/Set/SwapRemoveRow/ApplyDelta) is preserved on top and
+// pins the semantics. Row() gathers into a fresh vector — hot loops should
+// read Column() spans, reuse a buffer via RowInto(), or compare in place
+// with RowEquals() instead (the lsens-lint `row-materialize` rule audits
+// exec-layer loops for this).
 //
 // Every mutation bumps a monotone version counter, and an opt-in bounded
 // changelog records the row-level delta between versions so caches keyed on
@@ -43,12 +59,20 @@ class Relation {
     return column_names_;
   }
   size_t arity() const { return column_names_.size(); }
-  size_t NumRows() const { return arity() == 0 ? 0 : data_.size() / arity(); }
+  size_t NumRows() const { return cols_[0].size(); }
 
-  std::span<const Value> Row(size_t i) const {
-    return {data_.data() + i * arity(), arity()};
-  }
-  Value At(size_t row, size_t col) const { return data_[row * arity() + col]; }
+  // The full column: the unit of access every columnar kernel consumes.
+  std::span<const Value> Column(size_t c) const { return cols_[c]; }
+
+  // Row i gathered across columns into a fresh vector. Convenience for
+  // tests and cold paths; hot loops use Column()/RowInto()/RowEquals().
+  std::vector<Value> Row(size_t i) const;
+  // Gather row i into `*out` (resized to arity()), reusing its capacity.
+  void RowInto(size_t i, std::vector<Value>* out) const;
+  // True iff row i equals `row` (arity-checked once per call).
+  bool RowEquals(size_t i, std::span<const Value> row) const;
+
+  Value At(size_t row, size_t col) const { return cols_[col][row]; }
   // Point overwrite. Bumps the version; the changelog (which speaks in
   // whole-row inserts/erases) records erase(old row) + insert(new row).
   void Set(size_t row, size_t col, Value v);
@@ -56,7 +80,7 @@ class Relation {
   void AppendRow(std::span<const Value> row) {
     LSENS_CHECK(row.size() == arity());
     if (log_enabled_) LogChange(/*insert=*/true, row);
-    data_.insert(data_.end(), row.begin(), row.end());
+    for (size_t c = 0; c < row.size(); ++c) cols_[c].push_back(row[c]);
     ++version_;
   }
   void AppendRow(std::initializer_list<Value> row) {
@@ -65,11 +89,24 @@ class Relation {
 
   // Bulk append of `rows_flat.size() / arity()` rows stored row-major
   // (rows_flat.size() must be a multiple of the arity). One reserve and
-  // one contiguous copy; versioning and the changelog observe the same
-  // per-row granularity as the equivalent AppendRow loop.
+  // one strided scatter per column; versioning and the changelog observe
+  // the same per-row granularity as the equivalent AppendRow loop.
   void AppendRows(std::span<const Value> rows_flat);
 
-  void Reserve(size_t rows) { data_.reserve(rows * arity()); }
+  // Bulk append of pre-split columns: columns[c] holds the new values of
+  // column c, all the same length. The columnar twin of AppendRows — one
+  // contiguous copy per column, no row-major staging. The CSV loader
+  // parses straight into such buffers.
+  void AppendColumns(std::span<const std::vector<Value>> columns);
+
+  // Gather-append of `rows` (indices into `src`, which must have the same
+  // arity) — one strided gather per column. Used by the truncation
+  // mechanisms to rebuild a filtered relation without materializing rows.
+  void AppendRowsFrom(const Relation& src, std::span<const uint32_t> rows);
+
+  void Reserve(size_t rows) {
+    for (auto& col : cols_) col.reserve(rows);
+  }
   // Drops every row. Bumps the version and disables the changelog (the
   // delta would be the whole relation); re-enable to resume logging.
   void Clear();
@@ -96,6 +133,18 @@ class Relation {
   Status ApplyDelta(std::span<const std::vector<Value>> inserts,
                     std::vector<size_t> delete_rows);
 
+  // --- Per-column dictionary handles --------------------------------------
+  // Marks column c as dictionary-encoded: its values are codes interned in
+  // the owning database's Dictionary (storage/dictionary.h). Purely
+  // catalog metadata — the column stores flat int64 codes like any other —
+  // but loaders and writers use it to decide which columns render back
+  // through the dictionary. Survives Clone/CloneSnapshot with the rest of
+  // the schema.
+  bool column_dictionary(size_t c) const { return dict_cols_[c] != 0; }
+  void set_column_dictionary(size_t c, bool on) {
+    dict_cols_[c] = on ? 1 : 0;
+  }
+
   // --- Versioning and the change log -------------------------------------
   // Monotone mutation counter: every AppendRow / SwapRemoveRow / Set /
   // Clear (and each row of an ApplyDelta) bumps it by one.
@@ -113,7 +162,7 @@ class Relation {
   // copied log would only pin memory.
   void DisableChangeLog();
 
-  // Bytes held by row storage plus the retained change-log entries, for
+  // Bytes held by column storage plus the retained change-log entries, for
   // epoch/eviction accounting (same spirit as DynTable::MemoryBytes).
   size_t MemoryBytes() const;
 
@@ -129,15 +178,28 @@ class Relation {
   // Like CollectChangesSince, but routes each change to shard
   // Mix64-hash(row projected onto `key_cols`) mod num_shards, appending to
   // shards[s]. Every change to one key lands in one shard in log order, so
-  // shards are disjoint per-key work — the sharded delta repair in
-  // sensitivity/incremental.cc hands one shard to each worker. `shards`
-  // must hold at least num_shards vectors. Returns false exactly when
-  // CollectChangesSince would (nothing appended).
+  // shards are disjoint per-key work. `shards` must hold at least
+  // num_shards vectors. Returns false exactly when CollectChangesSince
+  // would (nothing appended).
   bool CollectChangesShardedSince(uint64_t since,
                                   std::span<const size_t> key_cols,
                                   size_t num_shards,
                                   std::vector<std::vector<RowChange>>* shards)
       const;
+
+  // The projected form the delta repair consumes: one log walk that drops
+  // changes failing `filter` (pass nullptr to keep everything), copies
+  // only the `key_cols` projection of each survivor, and routes it to
+  // shard Mix64-hash(key) mod num_shards — the same routing as
+  // CollectChangesShardedSince, so per-key order within a shard is
+  // preserved. `*num_changes` (optional) receives the total number of log
+  // entries walked, pre-filter — the repair's delta_rows accounting.
+  // Returns false exactly when CollectChangesSince would.
+  bool CollectProjectedChangesShardedSince(
+      uint64_t since, std::span<const size_t> key_cols, size_t num_shards,
+      const std::function<bool(const RowChange&)>& filter,
+      std::vector<std::vector<ProjectedRowChange>>* shards,
+      size_t* num_changes) const;
 
   // Column index for `column_name`, or -1.
   int ColumnIndex(const std::string& column_name) const;
@@ -152,7 +214,8 @@ class Relation {
 
   std::string name_;
   std::vector<std::string> column_names_;
-  std::vector<Value> data_;
+  std::vector<std::vector<Value>> cols_;  // one vector per column
+  std::vector<uint8_t> dict_cols_;        // per-column dictionary flags
 
   uint64_t version_ = 0;
   bool log_enabled_ = false;

@@ -36,6 +36,23 @@ inline uint64_t HashValues(std::span<const Value> values) {
   return h;
 }
 
+// Column-batch form of the same fold, for columnar storage: seed a batch of
+// per-row hashes, then fold each key column in order. After seeding and
+// folding columns c0..ck, hashes[i] == HashValues({col_c0[i], ...,
+// col_ck[i]}) — the batch and scalar forms are pinned equal by
+// storage_test, so flat hash tables and change-log shard routing agree no
+// matter which form produced the hash.
+inline void HashValuesBatchSeed(std::span<uint64_t> hashes) {
+  for (uint64_t& h : hashes) h = kValueHashSeed;
+}
+
+inline void HashValuesBatchFold(std::span<const Value> column,
+                                std::span<uint64_t> hashes) {
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    hashes[i] = HashValueFold(hashes[i], column[i]);
+  }
+}
+
 }  // namespace lsens
 
 #endif  // LSENS_STORAGE_VALUE_H_

@@ -75,6 +75,38 @@ TEST(CsvTest, RejectsInt64OverflowWithLineNumber) {
   EXPECT_EQ(ok_db.Find("T")->At(1, 0), INT64_MIN);
 }
 
+TEST(CsvTest, OverflowErrorNamesOffendingColumn) {
+  Database db;
+  // The loader parses per column; a bad cell reports which column broke,
+  // by index and header name, so wide files are debuggable.
+  Status s = LoadCsvText(db, "R",
+                         "id,amount,tag\n"
+                         "1,2,x\n"
+                         "2,99999999999999999999,y\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("column 1"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("'amount'"), std::string::npos) << s.ToString();
+}
+
+TEST(CsvTest, MarksDictionaryColumns) {
+  Database db;
+  ASSERT_TRUE(LoadCsvText(db, "R",
+                          "city,pop,mixed\n"
+                          "NYC,8000000,1\n"
+                          "SF,800000,abc\n")
+                  .ok());
+  const Relation* rel = db.Find("R");
+  // Any column that interned at least one cell carries the dictionary
+  // handle; pure-integer columns stay flat.
+  EXPECT_TRUE(rel->column_dictionary(0));
+  EXPECT_FALSE(rel->column_dictionary(1));
+  EXPECT_TRUE(rel->column_dictionary(2));
+  // Codes decode back through the shared dictionary.
+  EXPECT_EQ(db.dict().String(rel->At(0, 0)), "NYC");
+  EXPECT_EQ(db.dict().String(rel->At(1, 2)), "abc");
+}
+
 TEST(CsvTest, QuotedCellsFollowRfc4180) {
   Database db;
   Status s = LoadCsvText(db, "R",

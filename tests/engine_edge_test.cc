@@ -125,7 +125,7 @@ TEST(EngineEdgeTest, KeepTablesOnMultiAtomBags) {
     const Relation* rel = db.Find(q.atom(atom).relation);
     std::vector<std::vector<Value>> rows;
     for (size_t r = 0; r < rel->NumRows(); ++r) {
-      rows.emplace_back(rel->Row(r).begin(), rel->Row(r).end());
+      rows.push_back(rel->Row(r));
     }
     NaiveOptions nopts;
     nopts.ghd = &*ghd;

@@ -84,6 +84,25 @@ TEST(LintEntropy, SilentInEntropyHomesAndSeededConsumers) {
   EXPECT_TRUE(report.findings.empty()) << FormatReport(report);
 }
 
+TEST(LintRowMaterialize, FiresOnRelationRowInsideLoops) {
+  const Report report = RunLint(Fixture("row_materialize_bad"));
+  // The range-for body call and the while-body call on Relation-typed
+  // receivers; the CountedRelation call (span-returning Row) stays silent.
+  EXPECT_EQ(CountRule(report, "row-materialize"), 2) << FormatReport(report);
+  EXPECT_EQ(static_cast<int>(report.findings.size()),
+            CountRule(report, "row-materialize"))
+      << FormatReport(report);
+}
+
+TEST(LintRowMaterialize, SilentOnColumnSpansBuffersAndAllowedColdLoops) {
+  const Report report = RunLint(Fixture("row_materialize_good"));
+  EXPECT_TRUE(report.findings.empty()) << FormatReport(report);
+  // The cold-loop allow must surface in the audit.
+  ASSERT_EQ(report.allows.size(), 1u) << FormatReport(report);
+  EXPECT_EQ(report.allows[0].rule, "row-materialize");
+  EXPECT_FALSE(report.allows[0].reason.empty());
+}
+
 TEST(LintAllowReason, FiresOnBareAndNonAllowlistableAllows) {
   const Report report = RunLint(Fixture("allow_reason_bad"));
   EXPECT_EQ(CountRule(report, "allow-reason"), 2) << FormatReport(report);

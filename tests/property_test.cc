@@ -80,7 +80,7 @@ TEST_P(AcyclicPropertyTest, PerTupleSensitivitiesMatchOracle) {
       const Relation* rel = ex.db.Find(ex.query.atom(atom).relation);
       std::vector<std::vector<Value>> rows;
       for (size_t r = 0; r < rel->NumRows(); ++r) {
-        rows.emplace_back(rel->Row(r).begin(), rel->Row(r).end());
+        rows.push_back(rel->Row(r));
       }
       for (size_t row = 0; row < rows.size(); ++row) {
         auto naive = NaiveTupleSensitivity(ex.query, ex.db, atom, rows[row]);
@@ -262,7 +262,7 @@ TEST_P(HardAcyclicPropertyTest, StarWithCyclicMultiplicityJoinMatchesOracle) {
     ASSERT_TRUE(sens.ok());
     std::vector<std::vector<Value>> rows;
     for (size_t r = 0; r < r0->NumRows(); ++r) {
-      rows.emplace_back(r0->Row(r).begin(), r0->Row(r).end());
+      rows.push_back(r0->Row(r));
     }
     for (size_t r = 0; r < rows.size(); ++r) {
       auto oracle = NaiveTupleSensitivity(ex.query, ex.db, 0, rows[r]);

@@ -466,6 +466,48 @@ TEST(ServingReclamationTest, ZeroReaderPublishReclaimsImmediately) {
   server.Shutdown();
 }
 
+TEST(ServingReclamationTest, PostPublishInternRendersInNextEpoch) {
+  // A delta producer interns a string value after epoch 1 is published.
+  // The already-published snapshot must not mis-decode the new code — its
+  // dictionary's ContainsValue range check answers false — while the next
+  // published epoch carries the code and renders it.
+  auto ex = testing::MakeFigure3Example();
+  ServingConfig config;
+  config.manual_turns = true;
+  SensitivityServer server(std::move(ex.db), config);
+  auto session = server.OpenSession("s");
+
+  EpochPin old_pin = session->Pin();
+  const Value code = server.InternValue("post-publish-city");
+  EXPECT_GE(code, Dictionary::kBase);
+  // The pinned snapshot predates the intern: deep-copied dictionary, so the
+  // new code is out of its range — no mis-decode, no crash.
+  EXPECT_FALSE(old_pin.db().dict().ContainsValue(code));
+
+  // Interning the same string again returns the same code (append-only,
+  // stable), so producers may cache codes across turns.
+  EXPECT_EQ(server.InternValue("post-publish-city"), code);
+
+  ASSERT_TRUE(server.SubmitDelta(InsertDelta("R2", {code, Value(3)})).ok());
+  ASSERT_TRUE(server.TurnEpoch());
+  {
+    EpochPin pin = session->Pin();
+    EXPECT_TRUE(pin.db().dict().ContainsValue(code));
+    EXPECT_EQ(pin.db().dict().String(code), "post-publish-city");
+    const Relation* r2 = pin.db().Find("R2");
+    bool found = false;
+    for (size_t i = 0; i < r2->NumRows() && !found; ++i) {
+      found = r2->At(i, 0) == code;
+    }
+    EXPECT_TRUE(found);
+  }
+  // The old pin still answers false after the publish: its dictionary is a
+  // copy, not a shared reference.
+  EXPECT_FALSE(old_pin.db().dict().ContainsValue(code));
+  old_pin.Release();
+  server.Shutdown();
+}
+
 // --- Shutdown and abuse -----------------------------------------------------
 
 TEST(ServingAbuseTest, PoisonedBatchLeavesPublishedEpochUntouched) {

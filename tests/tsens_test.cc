@@ -305,7 +305,7 @@ TEST(TSensTest, KeepTablesMatchesNaivePerTuple) {
     const Relation* rel = ex.db.Find(ex.query.atom(atom).relation);
     std::vector<std::vector<Value>> rows;
     for (size_t r = 0; r < rel->NumRows(); ++r) {
-      rows.emplace_back(rel->Row(r).begin(), rel->Row(r).end());
+      rows.push_back(rel->Row(r));
     }
     for (size_t row = 0; row < rows.size(); ++row) {
       auto naive = NaiveTupleSensitivity(ex.query, ex.db, atom, rows[row]);
@@ -346,7 +346,7 @@ TEST(DownwardSensitivityTest, MatchesDeletionOracleOnRandomInstances) {
       Relation* rel = ex.db.Find(ex.query.atom(i).relation);
       std::vector<std::vector<Value>> rows;
       for (size_t r = 0; r < rel->NumRows(); ++r) {
-        rows.emplace_back(rel->Row(r).begin(), rel->Row(r).end());
+        rows.push_back(rel->Row(r));
       }
       for (size_t r = 0; r < rows.size(); ++r) {
         // Remove one copy (first occurrence), evaluate, restore.

@@ -1,0 +1,51 @@
+// MUST-PASS fixture for rule row-materialize, covering the sanctioned
+// shapes: Column() spans and a reused RowInto() buffer in hot loops, a
+// Row() call outside any loop (one-shot gathers are fine), and a cold
+// setup loop justified by a line-site allow. The allow must appear in the
+// audit.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fixture {
+
+using Value = long long;
+
+struct Relation {
+  std::vector<Value> Row(size_t i) const;
+  void RowInto(size_t i, std::vector<Value>* out) const;
+  std::span<const Value> Column(size_t c) const;
+  size_t NumRows() const;
+};
+
+Value SumFirstColumn(const Relation& rel) {
+  Value sum = 0;
+  for (Value v : rel.Column(0)) sum += v;
+  return sum;
+}
+
+Value SumViaReusedBuffer(const Relation& rel) {
+  Value sum = 0;
+  std::vector<Value> row;
+  for (size_t i = 0; i < rel.NumRows(); ++i) {
+    rel.RowInto(i, &row);
+    sum += row[0];
+  }
+  return sum;
+}
+
+std::vector<Value> OneShotGather(const Relation& rel) {
+  return rel.Row(0);
+}
+
+std::vector<std::vector<Value>> SnapshotForTests(const Relation& rel) {
+  std::vector<std::vector<Value>> rows;
+  for (size_t i = 0; i < rel.NumRows(); ++i) {
+    // lsens-lint: allow(row-materialize) cold snapshot path — runs once
+    // per test, clarity wins over the per-row vector.
+    rows.push_back(rel.Row(i));
+  }
+  return rows;
+}
+
+}  // namespace fixture

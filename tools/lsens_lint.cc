@@ -403,6 +403,143 @@ std::vector<IterationSite> FindIterations(
 }
 
 // ---------------------------------------------------------------------------
+// row-materialize: Relation-typed variables whose .Row() is called inside a
+// loop body in exec-layer files. Relation::Row() gathers a fresh vector per
+// call; hot loops should read Column() spans or reuse a buffer via
+// RowInto(). Word-boundary matching means `CountedRelation` (whose Row()
+// returns a span) never matches.
+// ---------------------------------------------------------------------------
+std::set<std::string> FindRelationDeclNames(const JoinedCode& code) {
+  std::set<std::string> names;
+  const std::string& t = code.text;
+  for (size_t pos : FindWord(t, "Relation")) {
+    size_t i = pos + 8;  // past "Relation"
+    // Skip qualifiers between the type and the declared name.
+    for (;;) {
+      while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+        ++i;
+      if (i < t.size() && (t[i] == '&' || t[i] == '*')) {
+        ++i;
+      } else if (t.compare(i, 5, "const") == 0 &&
+                 (i + 5 >= t.size() || !IsIdentChar(t[i + 5]))) {
+        i += 5;
+      } else {
+        break;
+      }
+    }
+    size_t name_begin = i;
+    while (i < t.size() && IsIdentChar(t[i])) ++i;
+    if (i == name_begin) continue;  // constructor call, forward decl, ...
+    std::string name = t.substr(name_begin, i - name_begin);
+    while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+      ++i;
+    const char after = i < t.size() ? t[i] : '\0';
+    if (after != ';' && after != '=' && after != ',' && after != ')' &&
+        after != '{') {
+      continue;  // not a variable declaration (function return type, ...)
+    }
+    names.insert(std::move(name));
+  }
+  return names;
+}
+
+struct CharRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// Body ranges of for/while/do loops (brace-delimited or single-statement).
+// Nested loops produce nested ranges; containment in any range counts.
+std::vector<CharRange> FindLoopBodies(const std::string& t) {
+  std::vector<CharRange> bodies;
+  auto brace_or_statement = [&](size_t i) -> CharRange {
+    while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+      ++i;
+    if (i < t.size() && t[i] == '{') {
+      int depth = 0;
+      for (size_t j = i; j < t.size(); ++j) {
+        if (t[j] == '{') ++depth;
+        if (t[j] == '}') {
+          --depth;
+          if (depth == 0) return {i, j + 1};
+        }
+      }
+      return {i, t.size()};
+    }
+    // Single statement: up to the next ';' at paren depth 0.
+    int depth = 0;
+    for (size_t j = i; j < t.size(); ++j) {
+      if (t[j] == '(') ++depth;
+      if (t[j] == ')') --depth;
+      if (t[j] == ';' && depth == 0) return {i, j + 1};
+    }
+    return {i, t.size()};
+  };
+  for (std::string_view kw : {"for", "while"}) {
+    for (size_t pos : FindWord(t, kw)) {
+      size_t i = pos + kw.size();
+      while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+        ++i;
+      if (i >= t.size() || t[i] != '(') continue;
+      int depth = 0;
+      size_t close = std::string::npos;
+      for (size_t j = i; j < t.size(); ++j) {
+        if (t[j] == '(') ++depth;
+        if (t[j] == ')') {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+      }
+      if (close == std::string::npos) continue;
+      bodies.push_back(brace_or_statement(close + 1));
+    }
+  }
+  for (size_t pos : FindWord(t, "do")) {
+    size_t i = pos + 2;
+    while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+      ++i;
+    if (i < t.size() && t[i] == '{') bodies.push_back(brace_or_statement(i));
+  }
+  return bodies;
+}
+
+std::vector<IterationSite> FindRowMaterializeSites(
+    const JoinedCode& code, const std::set<std::string>& names) {
+  std::vector<IterationSite> sites;
+  if (names.empty()) return sites;
+  const std::string& t = code.text;
+  const std::vector<CharRange> bodies = FindLoopBodies(t);
+  auto in_loop = [&](size_t offset) {
+    for (const CharRange& r : bodies) {
+      if (offset >= r.begin && offset < r.end) return true;
+    }
+    return false;
+  };
+  for (size_t pos : FindWord(t, "Row")) {
+    if (pos + 3 >= t.size() || t[pos + 3] != '(') continue;
+    size_t r = pos;
+    if (r >= 1 && t[r - 1] == '.') {
+      r -= 1;
+    } else if (r >= 2 && t[r - 2] == '-' && t[r - 1] == '>') {
+      r -= 2;
+    } else {
+      continue;
+    }
+    size_t name_end = r;
+    size_t name_begin = name_end;
+    while (name_begin > 0 && IsIdentChar(t[name_begin - 1])) --name_begin;
+    const std::string receiver = t.substr(name_begin, name_end - name_begin);
+    if (names.count(receiver) == 0) continue;
+    if (!in_loop(pos)) continue;
+    sites.push_back({code.LineOf(pos), receiver, "Row()"});
+  }
+  return sites;
+}
+
+// ---------------------------------------------------------------------------
 // Per-rule scanners.
 // ---------------------------------------------------------------------------
 const std::map<std::string, std::set<std::string>>& LayerDag() {
@@ -643,20 +780,21 @@ Report RunLint(const fs::path& root) {
     // per-rule covered lines (0-based).
     std::map<std::string, std::set<int>> covered;
     for (const ParsedAllow& a : allows[rel]) {
-      if (a.rule != "unordered-iter" && a.rule != "entropy") {
+      if (a.rule != "unordered-iter" && a.rule != "entropy" &&
+          a.rule != "row-materialize") {
         report.findings.push_back(
             {"allow-reason", rel, a.line + 1,
              "rule '" + a.rule +
-                 "' is not allowlistable (only unordered-iter and entropy "
-                 "are)"});
+                 "' is not allowlistable (only unordered-iter, entropy, and "
+                 "row-materialize are)"});
         continue;
       }
       if (a.reason.empty()) {
         report.findings.push_back(
             {"allow-reason", rel, a.line + 1,
              "allow(" + a.rule +
-                 ") needs a reason: say why ordering/entropy cannot leak "
-                 "into results or stats"});
+                 ") needs a reason: say why ordering/entropy/row cost cannot "
+                 "leak into results or stats"});
         continue;
       }
       report.allows.push_back({a.rule, rel, a.line + 1, a.reason});
@@ -712,6 +850,23 @@ Report RunLint(const fs::path& root) {
                "': iteration order is hash order — convert to a sorted "
                "snapshot or annotate `// lsens-lint: allow(unordered-iter) "
                "<reason>`"});
+    }
+
+    // row-materialize (advisory, exec layer only): Relation::Row() gathers
+    // a fresh vector per call — inside a loop that is a per-row allocation
+    // the columnar layout exists to avoid.
+    if (rel.rfind("src/exec/", 0) == 0) {
+      const std::set<std::string> rel_names = FindRelationDeclNames(joined);
+      for (const IterationSite& site :
+           FindRowMaterializeSites(joined, rel_names)) {
+        if (covered["row-materialize"].count(site.line) != 0) continue;
+        report.findings.push_back(
+            {"row-materialize", rel, site.line + 1,
+             "Relation::Row() on '" + site.name +
+                 "' inside a loop materializes a row vector per iteration — "
+                 "read Column() spans or reuse a buffer via RowInto(), or "
+                 "annotate `// lsens-lint: allow(row-materialize) <reason>`"});
+      }
     }
   }
 

@@ -9,7 +9,7 @@
 // determinism invariants clang-tidy cannot express. It deliberately does
 // NOT parse C++ — it scans comment-stripped source text with a handful of
 // heuristics whose exact behavior is pinned by the fixture corpus under
-// tools/lint_fixtures/ (tests/lint_test.cc). Four rules, all scoped to
+// tools/lint_fixtures/ (tests/lint_test.cc). Five rules, all scoped to
 // files under <root>/src:
 //
 //   hash-fold    The value-hash seed/fold definitions (kValueHashSeed,
@@ -42,6 +42,16 @@
 //                seeded Rng instances and WallTimer so runs replay
 //                bit-for-bit.
 //
+//   row-materialize
+//                Advisory, scoped to src/exec/: calling Relation::Row()
+//                inside a loop body. The columnar Relation gathers a fresh
+//                vector per Row() call, so a loop doing it is a per-row
+//                allocation the flat Column() spans (or a RowInto() buffer)
+//                avoid. CountedRelation::Row() returns a span and is not
+//                matched. Allowlistable with
+//                `// lsens-lint: allow(row-materialize) <reason>` for cold
+//                or setup loops where clarity wins.
+//
 // An allow annotation with an empty reason is itself a finding
 // (allow-reason): the audit is only useful if every entry says *why*
 // ordering or entropy cannot leak.
@@ -50,7 +60,7 @@ namespace lsens_lint {
 
 struct Finding {
   std::string rule;     // "hash-fold", "unordered-iter", "layering",
-                        // "entropy", "allow-reason"
+                        // "entropy", "row-materialize", "allow-reason"
   std::string file;     // path relative to the lint root
   int line = 0;         // 1-based
   std::string message;
